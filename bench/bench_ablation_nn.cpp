@@ -1,0 +1,52 @@
+// Ablation: neural-network design choices — the training-budget/accuracy
+// trade-off per regime (epoch_scale), justifying the per-method epoch
+// defaults, and the chronological overfitting effect the paper discusses
+// (more training makes 2006 predictions worse even as 2005 fit improves).
+#include <chrono>
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "specdata/generator.hpp"
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsml;
+
+  const auto records =
+      specdata::generate_family(specdata::Family::kOpteron2, {});
+  auto [train, test] = specdata::chronological_split(records, 2005);
+
+  std::cout << "Ablation B1 — training budget (epoch_scale) vs train/test "
+               "error for NN-E and NN-S, Opteron-2 chronological task\n";
+  TablePrinter table(
+      {"model", "epoch scale", "train err %", "test err %", "fit s"});
+  for (const char* name : {"NN-S", "NN-E"}) {
+    for (double scale : {0.25, 0.5, 1.0, 2.0}) {
+      ml::ZooOptions zoo;
+      zoo.nn_epoch_scale = scale;
+      auto model = ml::make_model(name, zoo).make();
+      const auto t0 = std::chrono::steady_clock::now();
+      model->fit(train);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double train_err =
+          ml::mape(model->predict(train), train.target());
+      const double test_err = ml::mape(model->predict(test), test.target());
+      table.add_row({name, strings::format_double(scale, 2),
+                     strings::format_double(train_err, 2),
+                     strings::format_double(test_err, 2),
+                     strings::format_double(seconds, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: training error keeps falling with budget while "
+               "test error flattens or rises — the §4.3 overfitting effect "
+               "that makes linear regression the better chronological "
+               "predictor.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: sensitivity of sampled-DSE accuracy to the random sample draw,
+// and the paper's choice of the *maximum* fold error (vs the average) as the
+// cross-validation estimate (§3.3, §4.2's remark that errors occasionally
+// rise with more data because of unlucky random selection).
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "data/split.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/validation.hpp"
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsml;
+  const auto sweep = dse::run_design_space_sweep("applu",
+                                                 bench::sweep_options());
+  const data::Dataset full = dse::sweep_dataset(sweep);
+
+  std::cout << "Ablation A1 — variance of NN-E true error across five "
+               "independent random samples (applu)\n";
+  {
+    TablePrinter table({"rate", "mean err %", "min", "max"});
+    for (double rate : {0.01, 0.02, 0.05}) {
+      std::vector<double> errors;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng(seed * 1234567);
+        const auto idx =
+            data::sample_fraction(full.n_rows(), rate, rng, 10);
+        const data::Dataset train = full.select_rows(idx);
+        auto model = ml::make_model("NN-E").make();
+        model->fit(train);
+        errors.push_back(ml::mape(model->predict(full), full.target()));
+      }
+      table.add_row({strings::format_double(rate * 100, 0) + "%",
+                     strings::format_double(stats::mean(errors), 2),
+                     strings::format_double(stats::min(errors), 2),
+                     strings::format_double(stats::max(errors), 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Ablation A2 — CV estimate criterion: max fold error vs "
+               "average fold error as a predictor of the true error "
+               "(paper §3.3 prefers the maximum)\n";
+  {
+    TablePrinter table({"model", "rate", "est avg", "est max", "true"});
+    Rng rng(42);
+    for (double rate : {0.01, 0.03}) {
+      const auto idx = data::sample_fraction(full.n_rows(), rate, rng, 10);
+      const data::Dataset train = full.select_rows(idx);
+      for (const char* name : {"NN-E", "NN-S", "LR-B"}) {
+        const auto nm = ml::make_model(name);
+        const auto est = ml::estimate_error(nm.make, train);
+        auto model = nm.make();
+        model->fit(train);
+        const double true_err =
+            ml::mape(model->predict(full), full.target());
+        table.add_row({name, strings::format_double(rate * 100, 0) + "%",
+                       strings::format_double(est.average, 2),
+                       strings::format_double(est.maximum, 2),
+                       strings::format_double(true_err, 2)});
+      }
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

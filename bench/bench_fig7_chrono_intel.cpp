@@ -1,0 +1,17 @@
+// Figure 7: chronological predictions for Xeon (a), Pentium 4 (b) and
+// Pentium D (c) based systems — nine models, mean ± std percentage error.
+#include "bench_util.hpp"
+
+int main() {
+  using dsml::specdata::Family;
+  const std::pair<Family, const char*> panels[] = {
+      {Family::kXeon, "Figure 7(a)"},
+      {Family::kPentium4, "Figure 7(b)"},
+      {Family::kPentiumD, "Figure 7(c)"},
+  };
+  for (const auto& [family, label] : panels) {
+    const auto result = dsml::bench::chronological_for_family(family);
+    dsml::bench::print_chrono_figure(result, label);
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 8: chronological predictions for AMD Opteron based systems with
+// one (a), two (b), four (c) and eight (d) processors.
+#include "bench_util.hpp"
+
+int main() {
+  using dsml::specdata::Family;
+  const std::pair<Family, const char*> panels[] = {
+      {Family::kOpteron, "Figure 8(a)"},
+      {Family::kOpteron2, "Figure 8(b)"},
+      {Family::kOpteron4, "Figure 8(c)"},
+      {Family::kOpteron8, "Figure 8(d)"},
+  };
+  for (const auto& [family, label] : panels) {
+    const auto result = dsml::bench::chronological_for_family(family);
+    dsml::bench::print_chrono_figure(result, label);
+  }
+  return 0;
+}

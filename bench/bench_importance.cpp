@@ -1,0 +1,57 @@
+// §4.4 predictor-importance discussion: the relative importance of the input
+// parameters for the Opteron and Pentium D chronological models.
+//
+// Paper reference points: for Opteron, NN importance processor speed 0.659,
+// memory frequency 0.154, L2 on/off chip 0.147, L1 D size 0.139; LR included
+// processor speed (standardized beta 0.915) and memory size (0.119). For
+// Pentium D, NN: processor speed 0.570, L2 size 0.500, L1 shared 0.206, ...
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+void print_importance(const char* title,
+                      const std::vector<dsml::ml::PredictorImportance>& imps,
+                      std::size_t top) {
+  std::cout << title << "\n";
+  dsml::TablePrinter table({"predictor", "importance"});
+  for (std::size_t i = 0; i < imps.size() && i < top; ++i) {
+    table.add_row({imps[i].name,
+                   dsml::strings::format_double(imps[i].importance, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace dsml;
+  std::cout << "§4.4 — relative predictor importance (0 = no effect, 1 = "
+               "fully determines the prediction)\n\n";
+  {
+    const auto result =
+        bench::chronological_for_family(specdata::Family::kOpteron);
+    print_importance("Opteron — best NN model (paper: speed 0.659, mem freq "
+                     "0.154, L2 on/off 0.147, L1D 0.139):",
+                     result.nn_importance, 6);
+    print_importance("Opteron — best LR model standardized betas (paper: "
+                     "speed 0.915, memory size 0.119):",
+                     result.lr_importance, 6);
+  }
+  {
+    const auto result =
+        bench::chronological_for_family(specdata::Family::kPentiumD);
+    print_importance("Pentium D — best NN model (paper: speed 0.570, L2 size "
+                     "0.500, L1 shared 0.206, ...):",
+                     result.nn_importance, 6);
+    print_importance("Pentium D — best LR model standardized betas (paper: "
+                     "speed 0.733, L2 size 0.583, ...):",
+                     result.lr_importance, 6);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Micro-benchmarks of the simulator substrate (google-benchmark): timing-
+// model throughput per branch-predictor kind, cache and predictor lookup
+// costs, and trace generation speed.
+#include <benchmark/benchmark.h>
+
+#include "sim/core.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+#include "workload/simpoint.hpp"
+
+namespace {
+
+using namespace dsml;
+
+const sim::Trace& bench_trace() {
+  static const sim::Trace trace =
+      workload::generate_trace(workload::spec_profile("gcc"), 100'000);
+  return trace;
+}
+
+void BM_SimulateTrace(benchmark::State& state) {
+  const sim::Trace& trace = bench_trace();
+  auto space = sim::enumerate_design_space();
+  const auto& config = space[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto result = sim::simulate(config, trace);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.size()));
+}
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::Cache cache(64 * 1024, 64, 4);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr));
+    addr += 48;  // mixed hit/miss pattern
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BranchPredictor(benchmark::State& state) {
+  auto predictor = sim::make_branch_predictor(
+      static_cast<sim::BranchPredictorKind>(state.range(0)));
+  std::uint64_t pc = 0x400000;
+  bool taken = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predictor->predict_and_update(pc, taken));
+    pc += 16;
+    taken = !taken;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_GenerateTrace(benchmark::State& state) {
+  const auto profile = workload::spec_profile("mcf");
+  for (auto _ : state) {
+    auto trace = workload::generate_trace(
+        profile, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(trace);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_SimPointSelection(benchmark::State& state) {
+  const auto trace =
+      workload::generate_trace(workload::spec_profile("gcc"), 200'000);
+  for (auto _ : state) {
+    auto points = workload::choose_simpoints(trace, 10'000, 5);
+    benchmark::DoNotOptimize(points);
+  }
+}
+
+BENCHMARK(BM_SimulateTrace)->Arg(0)->Arg(1151)->Arg(4607)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_BranchPredictor)->DenseRange(0, 3);
+BENCHMARK(BM_GenerateTrace)->Arg(100'000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimPointSelection)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,10 @@
+// Generic body for the per-application sampled-DSE figure benches
+// (Figures 2–6). Each bench target compiles this file with DSML_BENCH_APP
+// and DSML_BENCH_FIGURE set (see bench/CMakeLists.txt).
+#include "bench_util.hpp"
+
+int main() {
+  const auto result = dsml::bench::sampled_dse_for_app(DSML_BENCH_APP);
+  dsml::bench::print_sampled_figure(result, DSML_BENCH_FIGURE);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table 2: the best accuracy and the model that achieves it, for single and
+// multi-processor chronological predictive modelling.
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsml;
+  std::cout << "Table 2 — best chronological prediction error per family "
+               "(paper: Xeon 2.1 LR-E, Pentium D 2.2 LR-E, Pentium 4 1.5 "
+               "LR-E, Opteron 2.1 LR-B/LR-S, Opteron-2 3.1, Opteron-4 3.2, "
+               "Opteron-8 3.5 LR-B/LR-S)\n";
+  TablePrinter table({"family", "best err %", "method(s)", "paper err %",
+                      "paper method"});
+  struct PaperRow {
+    specdata::Family family;
+    const char* err;
+    const char* method;
+  };
+  const PaperRow paper[] = {
+      {specdata::Family::kXeon, "2.1", "LR-E"},
+      {specdata::Family::kPentiumD, "2.2", "LR-E"},
+      {specdata::Family::kPentium4, "1.5", "LR-E"},
+      {specdata::Family::kOpteron, "2.1", "LR-B/LR-S"},
+      {specdata::Family::kOpteron2, "3.1", "LR-B/LR-S"},
+      {specdata::Family::kOpteron4, "3.2", "LR-B/LR-S"},
+      {specdata::Family::kOpteron8, "3.5", "LR-B/LR-S"},
+  };
+  for (const auto& row : paper) {
+    const auto result = bench::chronological_for_family(row.family);
+    const auto names = result.best_names(0.05);
+    table.add_row({to_string(row.family),
+                   strings::format_double(result.best().error.mean, 2),
+                   strings::join(names, "/"), row.err, row.method});
+  }
+  table.print(std::cout);
+  return 0;
+}

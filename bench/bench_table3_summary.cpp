@@ -1,0 +1,49 @@
+// Table 3: average accuracy over the five applications for LR-B, NN-E, NN-S
+// and the Select meta-method at 1%–5% sampling rates.
+#include <map>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "workload/profiles.hpp"
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dsml;
+  std::cout << "Table 3 — mean true error (%) across applications vs "
+               "sampling rate\n"
+            << "(paper: LR-B 4.2/4.0/3.8/3.8/3.8, NN-E 3.5/2.0/1.1/0.9/0.9, "
+               "NN-S 5.9/3.2/2.2/1.2/1.5, Select 3.4/2.6/1.1/0.9/0.9)\n";
+
+  std::map<std::string, std::map<double, double>> sums;  // model -> rate -> sum
+  std::map<double, double> select_sums;
+  std::size_t apps = 0;
+  std::vector<double> rates;
+  for (const std::string& app : workload::spec_profile_names()) {
+    const auto result = bench::sampled_dse_for_app(app);
+    ++apps;
+    if (rates.empty()) {
+      for (const auto& s : result.select) rates.push_back(s.rate);
+    }
+    for (const auto& run : result.runs) {
+      sums[run.model][run.rate] += run.true_error;
+    }
+    for (const auto& sel : result.select) {
+      select_sums[sel.rate] += sel.true_error;
+    }
+  }
+
+  std::vector<std::string> header = {"statistics"};
+  for (double r : rates) header.push_back(strings::format_double(r * 100, 0) + "%");
+  TablePrinter table(header);
+  for (const std::string& model : {"LR-B", "NN-E", "NN-S"}) {
+    std::vector<double> row;
+    for (double r : rates) row.push_back(sums[model][r] / double(apps));
+    table.add_row_numeric(model, row);
+  }
+  std::vector<double> select_row;
+  for (double r : rates) select_row.push_back(select_sums[r] / double(apps));
+  table.add_row_numeric("Select", select_row);
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,212 @@
+#include "bench_util.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace dsml::bench {
+
+namespace {
+
+std::string figure_cache_path(const std::string& app,
+                              const dse::SweepOptions& sweep) {
+  std::ostringstream os;
+  os << dse::resolve_cache_dir(sweep.cache_dir) << "/fig_" << app << "_n"
+     << sweep.full_trace_instructions << "_iv" << sweep.interval_instructions
+     << "_k" << sweep.max_clusters << "_v2.csv";
+  return os.str();
+}
+
+std::string chrono_cache_path(specdata::Family family) {
+  std::ostringstream os;
+  os << dse::resolve_cache_dir("") << "/chrono_"
+     << static_cast<int>(family) << "_v2.csv";
+  return os.str();
+}
+
+bool load_sampled_cache(const std::string& path,
+                        dse::SampledDseResult& result) {
+  if (!std::filesystem::exists(path)) return false;
+  const csv::Table t = csv::read_file(path);
+  const std::size_t kind = t.column_index("kind");
+  const std::size_t model = t.column_index("model");
+  const std::size_t rate = t.column_index("rate");
+  const std::size_t est_max = t.column_index("est_max");
+  const std::size_t est_avg = t.column_index("est_avg");
+  const std::size_t true_err = t.column_index("true_err");
+  const std::size_t fit_s = t.column_index("fit_seconds");
+  for (const auto& row : t.rows) {
+    if (row[kind] == "run") {
+      dse::SampledRun r;
+      r.model = row[model];
+      r.rate = strings::parse_double(row[rate]);
+      r.estimated_error_max = strings::parse_double(row[est_max]);
+      r.estimated_error_avg = strings::parse_double(row[est_avg]);
+      r.true_error = strings::parse_double(row[true_err]);
+      r.fit_seconds = strings::parse_double(row[fit_s]);
+      result.runs.push_back(std::move(r));
+    } else {
+      dse::SelectRun s;
+      s.chosen_model = row[model];
+      s.rate = strings::parse_double(row[rate]);
+      s.estimated_error = strings::parse_double(row[est_max]);
+      s.true_error = strings::parse_double(row[true_err]);
+      result.select.push_back(std::move(s));
+    }
+  }
+  return !result.runs.empty();
+}
+
+void store_sampled_cache(const std::string& path,
+                         const dse::SampledDseResult& result) {
+  csv::Table t;
+  t.header = {"kind", "model", "rate", "est_max", "est_avg", "true_err",
+              "fit_seconds"};
+  for (const auto& r : result.runs) {
+    t.rows.push_back({"run", r.model, strings::format_double(r.rate, 4),
+                      strings::format_double(r.estimated_error_max, 6),
+                      strings::format_double(r.estimated_error_avg, 6),
+                      strings::format_double(r.true_error, 6),
+                      strings::format_double(r.fit_seconds, 6)});
+  }
+  for (const auto& s : result.select) {
+    t.rows.push_back({"select", s.chosen_model,
+                      strings::format_double(s.rate, 4),
+                      strings::format_double(s.estimated_error, 6), "0",
+                      strings::format_double(s.true_error, 6), "0"});
+  }
+  csv::write_file(path, t);
+}
+
+}  // namespace
+
+dse::SampledDseResult sampled_dse_for_app(const std::string& app) {
+  const dse::SweepOptions sweep = sweep_options();
+  const std::string path = figure_cache_path(app, sweep);
+  dse::SampledDseResult result;
+  result.app = app;
+  if (load_sampled_cache(path, result)) return result;
+
+  const dse::SweepResult sr = dse::run_design_space_sweep(app, sweep);
+  const data::Dataset full = dse::sweep_dataset(sr);
+  dse::SampledDseOptions options;
+  if (fast_mode()) {
+    options.sampling_rates = {0.01, 0.03, 0.05};
+    options.zoo.nn_epoch_scale = 0.5;
+  }
+  result = dse::run_sampled_dse(full, app, options);
+  store_sampled_cache(path, result);
+  return result;
+}
+
+void print_sampled_figure(const dse::SampledDseResult& result,
+                          const std::string& figure_label) {
+  std::cout << figure_label << " — estimated vs true error, application '"
+            << result.app << "'\n";
+  std::cout << "(percentage prediction error, mean over the full design "
+               "space; -est rows are the §3.3 cross-validation estimate)\n";
+  std::vector<double> rates;
+  for (const auto& s : result.select) rates.push_back(s.rate);
+  std::vector<std::string> header = {"series"};
+  for (double r : rates) {
+    header.push_back(strings::format_double(r * 100.0, 0) + "%");
+  }
+  TablePrinter table(header);
+  for (const std::string& model : {"NN-E", "NN-S", "LR-B"}) {
+    std::vector<double> true_row;
+    std::vector<double> est_row;
+    for (double rate : rates) {
+      const auto& run = result.run(model, rate);
+      true_row.push_back(run.true_error);
+      est_row.push_back(run.estimated_error_max);
+    }
+    table.add_row_numeric(model, true_row);
+    table.add_row_numeric(model + "-est", est_row);
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+dse::ChronologicalResult chronological_for_family(specdata::Family family) {
+  const std::string path = chrono_cache_path(family);
+  if (std::filesystem::exists(path)) {
+    const csv::Table t = csv::read_file(path);
+    dse::ChronologicalResult result;
+    result.family = family;
+    const std::size_t kind = t.column_index("kind");
+    const std::size_t name = t.column_index("name");
+    const std::size_t mean = t.column_index("mean");
+    const std::size_t sd = t.column_index("sd");
+    const std::size_t fit_s = t.column_index("fit_seconds");
+    for (const auto& row : t.rows) {
+      if (row[kind] == "model") {
+        dse::ChronoModelResult m;
+        m.model = row[name];
+        m.error.mean = strings::parse_double(row[mean]);
+        m.error.stddev = strings::parse_double(row[sd]);
+        m.fit_seconds = strings::parse_double(row[fit_s]);
+        result.models.push_back(std::move(m));
+      } else if (row[kind] == "nn_imp") {
+        result.nn_importance.push_back(
+            {row[name], strings::parse_double(row[mean])});
+      } else if (row[kind] == "lr_imp") {
+        result.lr_importance.push_back(
+            {row[name], strings::parse_double(row[mean])});
+      } else if (row[kind] == "meta") {
+        result.train_rows =
+            static_cast<std::size_t>(strings::parse_double(row[mean]));
+        result.test_rows =
+            static_cast<std::size_t>(strings::parse_double(row[sd]));
+      }
+    }
+    if (!result.models.empty()) return result;
+  }
+
+  dse::ChronologicalOptions options;
+  if (fast_mode()) {
+    options.zoo.nn_epoch_scale = 0.5;
+  }
+  dse::ChronologicalResult result = dse::run_chronological(family, options);
+
+  csv::Table t;
+  t.header = {"kind", "name", "mean", "sd", "fit_seconds"};
+  t.rows.push_back({"meta", to_string(family),
+                    std::to_string(result.train_rows),
+                    std::to_string(result.test_rows), "0"});
+  for (const auto& m : result.models) {
+    t.rows.push_back({"model", m.model, strings::format_double(m.error.mean, 6),
+                      strings::format_double(m.error.stddev, 6),
+                      strings::format_double(m.fit_seconds, 6)});
+  }
+  for (const auto& imp : result.nn_importance) {
+    t.rows.push_back({"nn_imp", imp.name,
+                      strings::format_double(imp.importance, 6), "0", "0"});
+  }
+  for (const auto& imp : result.lr_importance) {
+    t.rows.push_back({"lr_imp", imp.name,
+                      strings::format_double(imp.importance, 6), "0", "0"});
+  }
+  csv::write_file(path, t);
+  return result;
+}
+
+void print_chrono_figure(const dse::ChronologicalResult& result,
+                         const std::string& figure_label) {
+  std::cout << figure_label << " — chronological predictions, "
+            << to_string(result.family) << " based systems\n";
+  std::cout << "(train on 2005 announcements, predict 2006; mean and std of "
+               "percentage error)\n";
+  TablePrinter table({"model", "mean err %", "std %"});
+  for (const auto& m : result.models) {
+    table.add_row({m.model, strings::format_double(m.error.mean, 2),
+                   strings::format_double(m.error.stddev, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "best: " << result.best().model << " ("
+            << strings::format_double(result.best().error.mean, 2) << "%)\n\n";
+}
+
+}  // namespace dsml::bench

@@ -1,0 +1,61 @@
+// Shared infrastructure for the figure/table benches.
+//
+// Every bench prints the rows/series of one table or figure from the paper.
+// Environment knobs (all optional):
+//   DSML_CACHE_DIR        where sweep/figure results are cached
+//   DSML_SWEEP_FULL       full-trace instructions per app   (default 2000000)
+//   DSML_SWEEP_INTERVAL   SimPoint interval instructions    (default 40000)
+//   DSML_SWEEP_CLUSTERS   max SimPoint clusters             (default 6)
+//   DSML_FAST             1 = small traces & reduced menus (quick smoke runs)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "dse/chronological.hpp"
+#include "dse/sampled.hpp"
+#include "dse/sweep.hpp"
+
+namespace dsml::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name); v && *v) {
+    return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+  }
+  return fallback;
+}
+
+inline bool fast_mode() { return env_size("DSML_FAST", 0) != 0; }
+
+inline dse::SweepOptions sweep_options() {
+  dse::SweepOptions options;
+  if (fast_mode()) {
+    options.full_trace_instructions = env_size("DSML_SWEEP_FULL", 300'000);
+    options.interval_instructions = env_size("DSML_SWEEP_INTERVAL", 15'000);
+    options.max_clusters = env_size("DSML_SWEEP_CLUSTERS", 4);
+  } else {
+    options.full_trace_instructions = env_size("DSML_SWEEP_FULL", 2'000'000);
+    options.interval_instructions = env_size("DSML_SWEEP_INTERVAL", 40'000);
+    options.max_clusters = env_size("DSML_SWEEP_CLUSTERS", 6);
+  }
+  return options;
+}
+
+/// Load (or compute) the sampled-DSE experiment result for one app, cached
+/// as CSV so repeated bench runs are cheap.
+dse::SampledDseResult sampled_dse_for_app(const std::string& app);
+
+/// Print one Figure-2..6 panel (estimated vs true error for NN-E/NN-S/LR-B
+/// across sampling rates).
+void print_sampled_figure(const dse::SampledDseResult& result,
+                          const std::string& figure_label);
+
+/// Run the chronological experiment for a family (cached).
+dse::ChronologicalResult chronological_for_family(specdata::Family family);
+
+/// Print one Figure-7/8 panel (nine models, mean ± std error).
+void print_chrono_figure(const dse::ChronologicalResult& result,
+                         const std::string& figure_label);
+
+}  // namespace dsml::bench

@@ -1,0 +1,53 @@
+// Chronological prediction of future-system performance (the paper's §4.3
+// workflow): train the nine models on one family's 2005 SPEC announcements
+// and predict the ratings of its 2006 systems.
+//
+//   $ ./examples/chronological [family]
+//
+// family: xeon | p4 | pd | opteron | opteron2 | opteron4 | opteron8
+#include <cstdio>
+#include <string>
+
+#include "dse/chronological.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsml;
+  const std::string arg = argc > 1 ? argv[1] : "xeon";
+  specdata::Family family = specdata::Family::kXeon;
+  if (arg == "p4") family = specdata::Family::kPentium4;
+  else if (arg == "pd") family = specdata::Family::kPentiumD;
+  else if (arg == "opteron") family = specdata::Family::kOpteron;
+  else if (arg == "opteron2") family = specdata::Family::kOpteron2;
+  else if (arg == "opteron4") family = specdata::Family::kOpteron4;
+  else if (arg == "opteron8") family = specdata::Family::kOpteron8;
+  else if (arg != "xeon") {
+    std::printf("unknown family '%s'\n", arg.c_str());
+    return 1;
+  }
+
+  const dse::ChronologicalResult result =
+      dse::run_chronological(family, {});
+  std::printf("%s: trained on %zu announcements from 2005, predicting %zu "
+              "from 2006\n\n",
+              to_string(result.family), result.train_rows, result.test_rows);
+  std::printf("%-6s  %-12s  %-10s\n", "model", "mean error", "std");
+  for (const auto& m : result.models) {
+    std::printf("%-6s  %9.2f %%  %7.2f %%\n", m.model.c_str(), m.error.mean,
+                m.error.stddev);
+  }
+  std::printf("\nbest model: %s at %.2f%% mean error\n",
+              result.best().model.c_str(), result.best().error.mean);
+
+  std::printf("\nmost important predictors (best linear model, standardized "
+              "betas):\n");
+  for (std::size_t i = 0; i < result.lr_importance.size() && i < 5; ++i) {
+    std::printf("  %-24s %.3f\n", result.lr_importance[i].name.c_str(),
+                result.lr_importance[i].importance);
+  }
+  std::printf("most important predictors (best neural network, sensitivity):\n");
+  for (std::size_t i = 0; i < result.nn_importance.size() && i < 5; ++i) {
+    std::printf("  %-24s %.3f\n", result.nn_importance[i].name.c_str(),
+                result.nn_importance[i].importance);
+  }
+  return 0;
+}

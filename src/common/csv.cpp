@@ -1,0 +1,129 @@
+#include "common/csv.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dsml::csv {
+
+namespace {
+
+std::vector<std::string> parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quote(const std::string& s) {
+  if (!needs_quoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::size_t Table::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw IoError("csv: no column named '" + name + "'");
+}
+
+Table parse(const std::string& text) {
+  Table table;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = parse_line(line);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != table.header.size()) {
+        throw IoError("csv: row width " + std::to_string(fields.size()) +
+                      " != header width " +
+                      std::to_string(table.header.size()));
+      }
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) throw IoError("csv: empty input");
+  return table;
+}
+
+Table read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("csv: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+std::string to_string(const Table& table) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < table.header.size(); ++i) {
+    if (i > 0) out << ',';
+    out << quote(table.header[i]);
+  }
+  out << '\n';
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << quote(row[i]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_file(const std::string& path, const Table& table) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) throw IoError("csv: cannot write '" + path + "'");
+  out << to_string(table);
+}
+
+}  // namespace dsml::csv

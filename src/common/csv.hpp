@@ -1,0 +1,33 @@
+// Tiny CSV reader/writer.
+//
+// Used by the experiment cache (simulation sweeps are minutes of CPU; their
+// outputs are persisted as CSV) and by users who want to export datasets.
+// Supports quoted fields with embedded commas/quotes per RFC 4180; does not
+// support embedded newlines (none of our data needs them).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsml::csv {
+
+struct Table {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t column_index(const std::string& name) const;  ///< throws IoError if missing
+};
+
+/// Parse a CSV string. First line is the header.
+Table parse(const std::string& text);
+
+/// Read and parse a CSV file.
+Table read_file(const std::string& path);
+
+/// Serialize (quoting fields that need it).
+std::string to_string(const Table& table);
+
+/// Write to a file, creating parent directories if needed.
+void write_file(const std::string& path, const Table& table);
+
+}  // namespace dsml::csv

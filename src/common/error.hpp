@@ -1,0 +1,64 @@
+// Error handling primitives shared by every dsml module.
+//
+// We use exceptions for contract violations at API boundaries (the library is
+// a modelling toolkit, not a hot inner loop), and DSML_ASSERT for internal
+// invariants that indicate a bug rather than bad input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dsml {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an operation cannot proceed because of the object's state
+/// (e.g. predicting with an unfitted model).
+class StateError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a numerical routine fails to converge or encounters a
+/// singular/ill-conditioned system it cannot recover from.
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown on I/O failures (file missing, malformed CSV, ...).
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw std::logic_error(std::string("dsml internal assertion failed: ") +
+                         expr + " at " + file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace dsml
+
+/// Internal invariant check. Always on: the cost is negligible for this
+/// library and silent corruption of experiment results is far worse.
+#define DSML_ASSERT(expr)                                      \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::dsml::detail::assert_fail(#expr, __FILE__, __LINE__);  \
+    }                                                          \
+  } while (false)
+
+/// Precondition check at a public API boundary.
+#define DSML_REQUIRE(expr, msg)              \
+  do {                                       \
+    if (!(expr)) {                           \
+      throw ::dsml::InvalidArgument(msg);    \
+    }                                        \
+  } while (false)

@@ -1,0 +1,119 @@
+#include "common/serial.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsml::serial {
+
+void Writer::tag(const std::string& name) { out_ << name << '\n'; }
+
+void Writer::u64(std::uint64_t v) { out_ << v << ' '; }
+
+void Writer::i64(std::int64_t v) { out_ << v << ' '; }
+
+void Writer::f64(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  out_ << buf << ' ';
+}
+
+void Writer::boolean(bool v) { out_ << (v ? 1 : 0) << ' '; }
+
+void Writer::str(const std::string& s) {
+  out_ << s.size() << ':' << s << ' ';
+}
+
+void Writer::f64_vector(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void Writer::u64_vector(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (std::uint64_t x : v) u64(x);
+}
+
+std::string Reader::token() {
+  std::string t;
+  if (!(in_ >> t)) throw IoError("serial: unexpected end of input");
+  return t;
+}
+
+void Reader::expect_tag(const std::string& expected) {
+  const std::string got = token();
+  if (got != expected) {
+    throw IoError("serial: expected tag '" + expected + "', got '" + got +
+                  "'");
+  }
+}
+
+std::string Reader::tag() { return token(); }
+
+std::uint64_t Reader::u64() {
+  const std::string t = token();
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(t.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    throw IoError("serial: bad u64 '" + t + "'");
+  }
+  return v;
+}
+
+std::int64_t Reader::i64() {
+  const std::string t = token();
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(t.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    throw IoError("serial: bad i64 '" + t + "'");
+  }
+  return v;
+}
+
+double Reader::f64() {
+  const std::string t = token();
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw IoError("serial: bad double '" + t + "'");
+  }
+  return v;
+}
+
+bool Reader::boolean() { return u64() != 0; }
+
+std::string Reader::str() {
+  // Skip whitespace, read "<len>:<bytes>".
+  std::size_t len = 0;
+  char c;
+  if (!(in_ >> c)) throw IoError("serial: unexpected end of input");
+  std::string digits;
+  while (c != ':') {
+    if (c < '0' || c > '9') throw IoError("serial: bad string length");
+    digits += c;
+    if (!in_.get(c)) throw IoError("serial: unexpected end of input");
+  }
+  len = std::strtoull(digits.c_str(), nullptr, 10);
+  std::string s(len, '\0');
+  if (len > 0 && !in_.read(s.data(), static_cast<std::streamsize>(len))) {
+    throw IoError("serial: truncated string");
+  }
+  return s;
+}
+
+std::vector<double> Reader::f64_vector() {
+  const std::uint64_t n = u64();
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+  return v;
+}
+
+std::vector<std::uint64_t> Reader::u64_vector() {
+  const std::uint64_t n = u64();
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(u64());
+  return v;
+}
+
+}  // namespace dsml::serial

@@ -1,0 +1,61 @@
+// Tiny text serialization layer used to persist trained models.
+//
+// Format: whitespace-separated tokens. Doubles are written as hexfloats so
+// values round-trip exactly; strings are length-prefixed so arbitrary
+// content (spaces, commas) survives. Every logical section starts with a
+// named tag, which doubles as a format check when loading.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dsml::serial {
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void tag(const std::string& name);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v);
+  void str(const std::string& s);
+
+  void f64_vector(const std::vector<double>& v);
+  void u64_vector(const std::vector<std::uint64_t>& v);
+
+ private:
+  std::ostream& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  /// Reads a tag and requires it to equal `expected` (throws IoError).
+  void expect_tag(const std::string& expected);
+  /// Reads a tag and returns it.
+  std::string tag();
+
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  bool boolean();
+  std::string str();
+
+  std::vector<double> f64_vector();
+  std::vector<std::uint64_t> u64_vector();
+
+ private:
+  std::string token();
+
+  std::istream& in_;
+};
+
+}  // namespace dsml::serial

@@ -1,0 +1,113 @@
+// Descriptive statistics and the statistical distributions needed by the
+// regression-inference machinery (partial-F tests for stepwise selection,
+// t-statistics for coefficient significance).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dsml::stats {
+
+/// Arithmetic mean. Requires a non-empty range.
+double mean(std::span<const double> xs);
+
+/// Sample variance (divides by n-1). Requires at least two elements.
+double variance(std::span<const double> xs);
+
+/// Population variance (divides by n). Requires a non-empty range.
+double population_variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be strictly positive. This is the SPEC
+/// rating aggregation function.
+double geometric_mean(std::span<const double> xs);
+
+/// Minimum / maximum of a non-empty range.
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Median (interpolated for even sizes). Copies the input.
+double median(std::span<const double> xs);
+
+/// p-th percentile in [0,100] with linear interpolation. Copies the input.
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient of two equal-length ranges.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Coefficient of variation-like "variation" statistic the paper reports for
+/// its datasets: stddev / mean.
+double variation(std::span<const double> xs);
+
+/// Range ratio the paper reports: max / min (the best configuration is
+/// `range_ratio` times better than the worst). All values must be positive.
+double range_ratio(std::span<const double> xs);
+
+// ---------------------------------------------------------------------------
+// Special functions & distributions
+// ---------------------------------------------------------------------------
+
+/// Natural log of the gamma function (wraps std::lgamma; kept here so callers
+/// depend on one stats facade).
+double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b), continued-fraction
+/// evaluation (Numerical-Recipes-style). Domain: a,b > 0, x in [0,1].
+double incomplete_beta(double a, double b, double x);
+
+/// Regularized lower incomplete gamma P(a, x).
+double incomplete_gamma_p(double a, double x);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Standard normal inverse CDF (Acklam's rational approximation, refined by
+/// one Halley step). Domain: p in (0,1).
+double normal_quantile(double p);
+
+/// Student-t CDF with nu degrees of freedom.
+double student_t_cdf(double t, double nu);
+
+/// Two-sided p-value for a t statistic with nu degrees of freedom.
+double t_test_p_value(double t, double nu);
+
+/// F-distribution CDF with (d1, d2) degrees of freedom.
+double f_cdf(double f, double d1, double d2);
+
+/// Upper-tail p-value for an F statistic (used by partial-F entry/removal
+/// tests in stepwise regression).
+double f_test_p_value(double f, double d1, double d2);
+
+/// Chi-squared CDF with k degrees of freedom.
+double chi_squared_cdf(double x, double k);
+
+// ---------------------------------------------------------------------------
+// Streaming accumulator
+// ---------------------------------------------------------------------------
+
+/// Welford single-pass accumulator for mean/variance/min/max — used by the
+/// simulator's statistics counters and by the experiment harness.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1)
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace dsml::stats

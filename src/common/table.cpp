@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace dsml {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DSML_REQUIRE(!header_.empty(), "TablePrinter: empty header");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  DSML_REQUIRE(row.size() == header_.size(),
+               "TablePrinter: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::add_row_numeric(const std::string& label,
+                                   const std::vector<double>& values,
+                                   int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(strings::format_double(v, digits));
+  add_row(std::move(row));
+}
+
+std::string TablePrinter::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "| " : " | ");
+      out << row[i];
+      out << std::string(widths[i] - row[i].size(), ' ');
+    }
+    out << " |\n";
+  };
+  auto emit_rule = [&] {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      out << (i == 0 ? "|-" : "-|-");
+      out << std::string(widths[i], '-');
+    }
+    out << "-|\n";
+  };
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::print(std::ostream& os) const { os << str(); }
+
+}  // namespace dsml

@@ -1,0 +1,32 @@
+// ASCII table formatting for benchmark/experiment reports.
+//
+// The benches print the same rows and series the paper's tables and figures
+// report; TablePrinter keeps that output aligned and copy-pasteable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dsml {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles to a fixed number of decimals.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int digits = 2);
+
+  std::string str() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsml

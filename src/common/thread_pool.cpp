@@ -1,0 +1,90 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace dsml {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t workers = pool.size();
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, n / (workers * 4));
+  }
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::future<void>> futures;
+  const std::size_t tasks = std::min(workers, (n + grain - 1) / grain);
+  futures.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    futures.push_back(pool.submit([&] {
+      for (;;) {
+        const std::size_t chunk_begin =
+            next.fetch_add(grain, std::memory_order_relaxed);
+        if (chunk_begin >= end) return;
+        const std::size_t chunk_end = std::min(chunk_begin + grain, end);
+        try {
+          for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dsml

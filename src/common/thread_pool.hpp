@@ -1,0 +1,67 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// The experiment harness sweeps thousands of simulator configurations and
+// trains many candidate networks; those tasks are embarrassingly parallel,
+// so a fixed pool with a shared queue is sufficient and keeps the code simple
+// (C++ Core Guidelines CP: prefer higher-level concurrency constructs over
+// raw thread management scattered through the code).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dsml {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers; 0 means hardware_concurrency
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  template <typename F>
+  std::future<void> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::forward<F>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace([task]() mutable { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Shared process-wide pool (lazily created).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the global pool, blocking until
+/// all iterations complete. Iterations are chunked to amortise dispatch.
+/// Exceptions thrown by fn propagate to the caller (first one wins).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 0);
+
+}  // namespace dsml

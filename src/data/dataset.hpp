@@ -1,0 +1,56 @@
+// A Dataset is a collection of typed feature columns plus one numeric target
+// (cycle count for the simulation experiments, SPECint2000-rate for the
+// chronological experiments).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "data/column.hpp"
+
+namespace dsml::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Adds a feature column; all columns (and the target) must agree on row
+  /// count once more than one is present.
+  void add_feature(Column column);
+
+  /// Sets the prediction target.
+  void set_target(std::string name, std::vector<double> values);
+
+  std::size_t n_rows() const noexcept;
+  std::size_t n_features() const noexcept { return features_.size(); }
+  bool has_target() const noexcept { return target_.has_value(); }
+
+  const Column& feature(std::size_t i) const;
+  const Column& feature(const std::string& name) const;
+  std::optional<std::size_t> find_feature(const std::string& name) const;
+
+  const std::string& target_name() const;
+  std::span<const double> target() const;
+  double target_at(std::size_t row) const;
+
+  /// Row subset (keeps all columns and the target).
+  Dataset select_rows(std::span<const std::size_t> rows) const;
+
+  /// Row-wise concatenation; schemas must match.
+  void append(const Dataset& other);
+
+  /// Flat CSV export: feature labels plus target column.
+  csv::Table to_csv() const;
+
+ private:
+  void check_rows(std::size_t n) const;
+
+  std::vector<Column> features_;
+  std::optional<std::string> target_name_;
+  std::optional<std::vector<double>> target_;
+};
+
+}  // namespace dsml::data

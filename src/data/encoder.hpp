@@ -1,0 +1,96 @@
+// Dataset → design-matrix encoding, reproducing Clementine's documented data
+// preparation (paper §3.4):
+//
+//  * every input is min-max scaled to [0,1] using ranges observed on the
+//    training data;
+//  * constant columns are dropped ("Clementine omits some predictor
+//    variables because these input parameters do not have any variation");
+//  * linear-regression mode maps ordered categoricals to their ordinal code
+//    and omits unordered categoricals ("for some other input parameters this
+//    kind of transformation is not possible, hence these are omitted");
+//  * neural-network mode one-hot encodes unordered categoricals (automatic
+//    transformation of any input type).
+//
+// The Encoder is fitted on training data and applied unchanged to test data
+// so no information leaks across the train/test boundary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/serial.hpp"
+#include "data/dataset.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dsml::data {
+
+enum class EncodingMode {
+  kLinearRegression,  ///< ordinal mapping; unordered categoricals omitted
+  kNeuralNetwork,     ///< one-hot unordered categoricals
+};
+
+struct EncoderOptions {
+  EncodingMode mode = EncodingMode::kNeuralNetwork;
+  bool scale_inputs = true;    ///< min-max scale features to [0,1]
+  bool scale_target = false;   ///< min-max scale the target (NNs want this)
+  bool drop_constant = true;   ///< drop zero-variation columns
+  bool add_intercept = false;  ///< prepend an all-ones column (LR wants this)
+};
+
+/// One encoded output feature and where it came from.
+struct EncodedFeature {
+  std::string name;          ///< e.g. "l2_size" or "branch_pred=bimodal"
+  std::size_t source_column; ///< index into the source Dataset's features
+  int one_hot_level;         ///< level index for one-hot features, -1 otherwise
+  double scale_min = 0.0;    ///< training-data min (pre-scaling)
+  double scale_max = 1.0;    ///< training-data max
+};
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  /// Learn the feature mapping and scaling ranges from `train`.
+  void fit(const Dataset& train, const EncoderOptions& options);
+
+  bool fitted() const noexcept { return fitted_; }
+
+  /// Encode a dataset with the fitted mapping. The dataset must have the
+  /// same schema as the training data. Unseen numeric values are scaled with
+  /// the training range (clamping is NOT applied; extrapolation is the
+  /// model's problem, as in Clementine).
+  linalg::Matrix encode(const Dataset& dataset) const;
+
+  /// Encode the target column (identity unless scale_target).
+  std::vector<double> encode_target(const Dataset& dataset) const;
+
+  /// Map a scaled prediction back to target units.
+  double decode_target(double value) const;
+
+  const std::vector<EncodedFeature>& features() const noexcept {
+    return features_;
+  }
+  std::vector<std::string> feature_names() const;
+  std::size_t n_outputs() const noexcept {
+    return features_.size() + (options_.add_intercept ? 1 : 0);
+  }
+  const EncoderOptions& options() const noexcept { return options_; }
+
+  /// Names of source columns that were dropped, with reasons (reported so
+  /// experiments can log Clementine-style predictor elimination).
+  const std::vector<std::string>& dropped() const noexcept { return dropped_; }
+
+  /// Persist the fitted encoder / restore it (model serialization).
+  void save(serial::Writer& writer) const;
+  static Encoder load(serial::Reader& reader);
+
+ private:
+  bool fitted_ = false;
+  EncoderOptions options_;
+  std::vector<EncodedFeature> features_;
+  std::vector<std::string> dropped_;
+  double target_min_ = 0.0;
+  double target_max_ = 1.0;
+};
+
+}  // namespace dsml::data

@@ -1,0 +1,78 @@
+#include "data/split.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsml::data {
+
+std::vector<std::size_t> sample_fraction(std::size_t n, double fraction,
+                                         Rng& rng, std::size_t min_rows) {
+  DSML_REQUIRE(fraction > 0.0 && fraction <= 1.0,
+               "sample_fraction: fraction outside (0,1]");
+  DSML_REQUIRE(n >= min_rows, "sample_fraction: dataset smaller than min_rows");
+  auto k = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(n)));
+  k = std::clamp<std::size_t>(k, min_rows, n);
+  auto idx = rng.sample_without_replacement(n, k);
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+std::vector<std::size_t> complement(std::size_t n,
+                                    const std::vector<std::size_t>& selected) {
+  std::vector<std::size_t> out;
+  out.reserve(n - selected.size());
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (j < selected.size() && selected[j] == i) {
+      ++j;
+    } else {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_half(
+    std::size_t n, Rng& rng) {
+  DSML_REQUIRE(n >= 2, "split_half: need at least two rows");
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  const std::size_t half = (n + 1) / 2;
+  std::vector<std::size_t> first(idx.begin(), idx.begin() + half);
+  std::vector<std::size_t> second(idx.begin() + half, idx.end());
+  std::sort(first.begin(), first.end());
+  std::sort(second.begin(), second.end());
+  return {std::move(first), std::move(second)};
+}
+
+std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+k_fold(std::size_t n, std::size_t k, Rng& rng) {
+  DSML_REQUIRE(k >= 2 && k <= n, "k_fold: need 2 <= k <= n");
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+      folds;
+  folds.reserve(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> val;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % k == f) {
+        val.push_back(idx[i]);
+      } else {
+        train.push_back(idx[i]);
+      }
+    }
+    std::sort(train.begin(), train.end());
+    std::sort(val.begin(), val.end());
+    folds.emplace_back(std::move(train), std::move(val));
+  }
+  return folds;
+}
+
+}  // namespace dsml::data

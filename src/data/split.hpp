@@ -1,0 +1,32 @@
+// Row-sampling utilities for the experiment protocols in the paper:
+// random 1–5% training samples (sampled DSE), random 50/50 halves
+// (Clementine's internal train/simulate split), and five-repeat 50% subsets
+// for the cross-validation error estimate of §3.3.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dsml::data {
+
+/// Indices of a random `fraction` of [0, n) (at least `min_rows`), without
+/// replacement, sorted ascending.
+std::vector<std::size_t> sample_fraction(std::size_t n, double fraction,
+                                         Rng& rng, std::size_t min_rows = 2);
+
+/// Complement of `selected` within [0, n); `selected` must be sorted.
+std::vector<std::size_t> complement(std::size_t n,
+                                    const std::vector<std::size_t>& selected);
+
+/// Random split of [0, n) into two halves (first gets the extra element).
+std::pair<std::vector<std::size_t>, std::vector<std::size_t>> split_half(
+    std::size_t n, Rng& rng);
+
+/// K-fold partition of [0, n): returns (train, validation) index pairs.
+std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+k_fold(std::size_t n, std::size_t k, Rng& rng);
+
+}  // namespace dsml::data

@@ -1,0 +1,77 @@
+#include "dse/chronological.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dsml::dse {
+
+const ChronoModelResult& ChronologicalResult::best() const {
+  DSML_REQUIRE(!models.empty(), "ChronologicalResult::best: no models");
+  const ChronoModelResult* best = &models.front();
+  for (const auto& m : models) {
+    if (m.error.mean < best->error.mean) best = &m;
+  }
+  return *best;
+}
+
+std::vector<std::string> ChronologicalResult::best_names(
+    double tolerance) const {
+  const double floor = best().error.mean;
+  std::vector<std::string> names;
+  for (const auto& m : models) {
+    if (m.error.mean <= floor + tolerance) names.push_back(m.model);
+  }
+  return names;
+}
+
+ChronologicalResult run_chronological(specdata::Family family,
+                                      const ChronologicalOptions& options) {
+  ChronologicalResult result;
+  result.family = family;
+
+  const std::vector<specdata::Announcement> records =
+      specdata::generate_family(family, options.generator);
+  auto [train, test] =
+      specdata::chronological_split(records, 2005, options.target);
+  result.train_rows = train.n_rows();
+  result.test_rows = test.n_rows();
+
+  std::vector<std::string> names = options.model_names;
+  if (names.empty()) {
+    names = {"LR-E", "LR-S", "LR-B", "LR-F", "NN-Q",
+             "NN-D", "NN-M", "NN-P", "NN-E"};
+  }
+
+  double best_nn = std::numeric_limits<double>::infinity();
+  double best_lr = std::numeric_limits<double>::infinity();
+  for (const std::string& name : names) {
+    const ml::NamedModel nm = ml::make_model(name, options.zoo);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto model = nm.make();
+    model->fit(train);
+    ChronoModelResult mr;
+    mr.model = name;
+    mr.fit_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::vector<double> predicted = model->predict(test);
+    mr.error = ml::summarize_errors(predicted, test.target());
+    result.models.push_back(mr);
+
+    const bool is_nn = name.rfind("NN", 0) == 0;
+    if (is_nn && mr.error.mean < best_nn) {
+      best_nn = mr.error.mean;
+      result.nn_importance = model->importance();
+    }
+    if (!is_nn && mr.error.mean < best_lr) {
+      best_lr = mr.error.mean;
+      result.lr_importance = model->importance();
+    }
+  }
+  return result;
+}
+
+}  // namespace dsml::dse

@@ -1,0 +1,54 @@
+// Chronological predictive modelling experiment (paper §4.3, Figures 7–8 and
+// Table 2): train the nine models on a family's 2005 announcements, predict
+// the ratings of its 2006 announcements, and report the mean and standard
+// deviation of the percentage error per model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "specdata/generator.hpp"
+
+namespace dsml::dse {
+
+struct ChronologicalOptions {
+  specdata::GeneratorOptions generator;
+  ml::ZooOptions zoo;
+  /// Model menu; defaults to the paper's nine (LR-E/S/B/F, NN-Q/D/M/P/E).
+  std::vector<std::string> model_names;
+  /// What to predict: the SPECint rate (paper default), the SPECfp rate, or
+  /// an individual application's ratio.
+  specdata::RatingTarget target = specdata::RatingTarget::int_rate();
+};
+
+struct ChronoModelResult {
+  std::string model;
+  ml::ErrorSummary error;  ///< over the 2006 test records
+  double fit_seconds = 0.0;
+};
+
+struct ChronologicalResult {
+  specdata::Family family = specdata::Family::kXeon;
+  std::size_t train_rows = 0;
+  std::size_t test_rows = 0;
+  std::vector<ChronoModelResult> models;
+
+  /// Best (lowest mean error) model — the Table 2 cell.
+  const ChronoModelResult& best() const;
+  /// All models whose mean error ties the best within `tolerance` (Table 2
+  /// reports ties like "LR-B/LR-S").
+  std::vector<std::string> best_names(double tolerance = 0.1) const;
+
+  /// Predictor importance of the best-performing NN model (§4.4 discussion).
+  std::vector<ml::PredictorImportance> nn_importance;
+  /// Standardized betas of the best-performing LR model.
+  std::vector<ml::PredictorImportance> lr_importance;
+};
+
+/// Run the chronological experiment for one processor family.
+ChronologicalResult run_chronological(specdata::Family family,
+                                      const ChronologicalOptions& options = {});
+
+}  // namespace dsml::dse

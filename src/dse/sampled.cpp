@@ -1,0 +1,86 @@
+#include "dse/sampled.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "data/split.hpp"
+#include "ml/metrics.hpp"
+
+namespace dsml::dse {
+
+const SampledRun& SampledDseResult::run(const std::string& model,
+                                        double rate) const {
+  for (const auto& r : runs) {
+    if (r.model == model && std::abs(r.rate - rate) < 1e-12) return r;
+  }
+  throw InvalidArgument("SampledDseResult::run: no run for model '" + model +
+                        "'");
+}
+
+SampledDseResult run_sampled_dse(const data::Dataset& full_space,
+                                 const std::string& app,
+                                 const SampledDseOptions& options) {
+  DSML_REQUIRE(full_space.has_target(), "run_sampled_dse: dataset lacks target");
+  DSML_REQUIRE(!options.sampling_rates.empty() && !options.model_names.empty(),
+               "run_sampled_dse: empty rate or model menu");
+  SampledDseResult result;
+  result.app = app;
+
+  Rng sample_rng(options.sample_seed ^
+                 std::hash<std::string>{}(app));
+
+  for (double rate : options.sampling_rates) {
+    // One training sample per rate, shared by every model (as in the paper:
+    // the sample is the set of configurations actually simulated).
+    const std::vector<std::size_t> sample_idx = data::sample_fraction(
+        full_space.n_rows(), rate, sample_rng, /*min_rows=*/10);
+    const data::Dataset train = full_space.select_rows(sample_idx);
+
+    double best_estimate = std::numeric_limits<double>::infinity();
+    SelectRun select_row;
+    select_row.rate = rate;
+
+    for (const std::string& model_name : options.model_names) {
+      const ml::NamedModel nm = ml::make_model(model_name, options.zoo);
+
+      ml::ValidationOptions vopt;
+      vopt.repeats = options.cv_repeats;
+      vopt.seed = options.sample_seed * 977 + static_cast<std::uint64_t>(
+                      rate * 1000.0);
+      const ml::ErrorEstimate estimate =
+          ml::estimate_error(nm.make, train, vopt);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      auto model = nm.make();
+      model->fit(train);
+      const double fit_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+
+      const std::vector<double> predicted = model->predict(full_space);
+      const double true_error = ml::mape(predicted, full_space.target());
+
+      SampledRun run;
+      run.model = model_name;
+      run.rate = rate;
+      run.estimated_error_max = estimate.maximum;
+      run.estimated_error_avg = estimate.average;
+      run.true_error = true_error;
+      run.fit_seconds = fit_seconds;
+      result.runs.push_back(run);
+
+      if (estimate.maximum < best_estimate) {
+        best_estimate = estimate.maximum;
+        select_row.chosen_model = model_name;
+        select_row.estimated_error = estimate.maximum;
+        select_row.true_error = true_error;
+      }
+    }
+    result.select.push_back(select_row);
+  }
+  return result;
+}
+
+}  // namespace dsml::dse

@@ -1,0 +1,61 @@
+// Sampled design-space exploration experiment (paper §4.2, Figures 2–6 and
+// Table 3).
+//
+// Protocol: randomly sample 1%–5% of the full design space, train each model
+// on the sample, estimate its predictive error with the §3.3 five-repeat
+// 50% cross-validation (reporting the maximum fold error, the paper's
+// preferred estimate), and measure the true error by predicting the entire
+// design space. The Select meta-row commits to whichever model estimated
+// best — reproducing Table 3's "Select" row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/validation.hpp"
+
+namespace dsml::dse {
+
+struct SampledDseOptions {
+  std::vector<double> sampling_rates = {0.01, 0.02, 0.03, 0.04, 0.05};
+  std::vector<std::string> model_names = {"LR-B", "NN-E", "NN-S"};
+  ml::ZooOptions zoo;
+  std::size_t cv_repeats = 5;
+  std::uint64_t sample_seed = 7;
+};
+
+/// One (model, sampling-rate) cell of a Figure-2..6 panel.
+struct SampledRun {
+  std::string model;
+  double rate = 0.0;
+  double estimated_error_max = 0.0;  ///< §3.3 estimate (max of folds)
+  double estimated_error_avg = 0.0;  ///< mean of folds
+  double true_error = 0.0;           ///< MAPE over the full design space
+  double fit_seconds = 0.0;
+};
+
+/// The Select meta-method outcome at one sampling rate.
+struct SelectRun {
+  double rate = 0.0;
+  std::string chosen_model;
+  double estimated_error = 0.0;
+  double true_error = 0.0;
+};
+
+struct SampledDseResult {
+  std::string app;
+  std::vector<SampledRun> runs;      ///< model-major, rate-minor
+  std::vector<SelectRun> select;     ///< one per sampling rate
+
+  const SampledRun& run(const std::string& model, double rate) const;
+};
+
+/// Run the experiment on a full-design-space dataset (4608 rows with cycle
+/// targets, from dse::sweep_dataset).
+SampledDseResult run_sampled_dse(const data::Dataset& full_space,
+                                 const std::string& app,
+                                 const SampledDseOptions& options = {});
+
+}  // namespace dsml::dse

@@ -1,0 +1,118 @@
+#include "dse/sweep.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/core.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace dsml::dse {
+
+std::string resolve_cache_dir(const std::string& explicit_dir) {
+  if (!explicit_dir.empty()) return explicit_dir;
+  if (const char* env = std::getenv("DSML_CACHE_DIR"); env && *env) {
+    return env;
+  }
+  return ".dsml_cache";
+}
+
+namespace {
+
+std::string cache_path(const std::string& app, const SweepOptions& options) {
+  std::ostringstream os;
+  os << resolve_cache_dir(options.cache_dir) << "/sweep_" << app << "_n"
+     << options.full_trace_instructions << "_iv"
+     << options.interval_instructions << "_k" << options.max_clusters << "_s"
+     << options.trace_seed << "_cfg" << sim::kDesignSpaceSize << "_v2.csv";
+  return os.str();
+}
+
+bool load_cached(const std::string& path, SweepResult& result) {
+  if (!std::filesystem::exists(path)) return false;
+  const csv::Table table = csv::read_file(path);
+  const std::size_t cyc = table.column_index("cycles");
+  const std::size_t pts = table.column_index("simpoints");
+  const std::size_t ins = table.column_index("instructions");
+  if (table.rows.size() != sim::kDesignSpaceSize) return false;
+  result.cycles.clear();
+  result.cycles.reserve(table.rows.size());
+  for (const auto& row : table.rows) {
+    result.cycles.push_back(strings::parse_double(row[cyc]));
+  }
+  result.simpoint_count =
+      static_cast<std::size_t>(strings::parse_double(table.rows[0][pts]));
+  result.simulated_instructions =
+      static_cast<std::size_t>(strings::parse_double(table.rows[0][ins]));
+  result.from_cache = true;
+  return true;
+}
+
+void store_cache(const std::string& path, const SweepResult& result) {
+  csv::Table table;
+  table.header = {"config", "cycles", "simpoints", "instructions"};
+  table.rows.reserve(result.cycles.size());
+  for (std::size_t i = 0; i < result.cycles.size(); ++i) {
+    table.rows.push_back({std::to_string(i),
+                          strings::format_double(result.cycles[i], 0),
+                          std::to_string(result.simpoint_count),
+                          std::to_string(result.simulated_instructions)});
+  }
+  csv::write_file(path, table);
+}
+
+}  // namespace
+
+SweepResult run_design_space_sweep(const std::string& app,
+                                   const SweepOptions& options) {
+  DSML_REQUIRE(options.full_trace_instructions >=
+                   options.interval_instructions * 2,
+               "run_design_space_sweep: trace shorter than two intervals");
+  SweepResult result;
+  result.app = app;
+
+  const std::string path = cache_path(app, options);
+  if (options.use_cache && load_cached(path, result)) {
+    return result;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+
+  const workload::AppProfile profile = workload::spec_profile(app);
+  const sim::Trace full = workload::generate_trace(
+      profile, options.full_trace_instructions, options.trace_seed);
+  const workload::SimPoints points = workload::choose_simpoints(
+      full, options.interval_instructions, options.max_clusters);
+  const sim::Trace reduced = workload::extract_intervals(full, points);
+
+  const std::vector<sim::ProcessorConfig> space =
+      sim::enumerate_design_space();
+  result.cycles.assign(space.size(), 0.0);
+  parallel_for(0, space.size(), [&](std::size_t i) {
+    const sim::SimResult r = sim::simulate(space[i], reduced);
+    result.cycles[i] = static_cast<double>(r.cycles);
+  });
+
+  result.simpoint_count = points.points.size();
+  result.simulated_instructions = reduced.size();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (options.use_cache) store_cache(path, result);
+  return result;
+}
+
+data::Dataset sweep_dataset(const SweepResult& sweep) {
+  DSML_REQUIRE(sweep.cycles.size() == sim::kDesignSpaceSize,
+               "sweep_dataset: unexpected cycle vector size");
+  return sim::make_config_dataset(sim::enumerate_design_space(),
+                                  sweep.cycles);
+}
+
+}  // namespace dsml::dse

@@ -1,0 +1,52 @@
+// Full design-space sweep: simulate all 4608 Table-1 configurations for one
+// application and return the cycle counts — the ground truth the sampled-DSE
+// experiments model.
+//
+// The pipeline mirrors the paper's §4.1 methodology: generate the
+// application's full instruction stream, run SimPoint (BBV + k-means) to
+// pick representative intervals, and simulate only the reduced trace for
+// every configuration.
+//
+// A sweep is minutes of single-core CPU, so results are cached as CSV under
+// the cache directory (DSML_CACHE_DIR env var, else ".dsml_cache" in the
+// working directory), keyed by every input that affects the output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "workload/simpoint.hpp"
+
+namespace dsml::dse {
+
+struct SweepOptions {
+  std::size_t full_trace_instructions = 1'000'000;
+  std::size_t interval_instructions = 8192;
+  std::size_t max_clusters = 5;
+  std::uint64_t trace_seed = 0;   ///< 0 = the app profile's seed
+  bool use_cache = true;
+  std::string cache_dir;          ///< empty = env/default resolution
+};
+
+struct SweepResult {
+  std::string app;
+  std::vector<double> cycles;     ///< one per design-space configuration
+  std::size_t simpoint_count = 0; ///< intervals SimPoint selected
+  std::size_t simulated_instructions = 0;  ///< per configuration
+  bool from_cache = false;
+  double seconds = 0.0;           ///< wall time of the sweep (0 if cached)
+};
+
+/// Resolve the cache directory (explicit option > DSML_CACHE_DIR > default).
+std::string resolve_cache_dir(const std::string& explicit_dir);
+
+/// Run (or load) the sweep for one application profile name.
+SweepResult run_design_space_sweep(const std::string& app,
+                                   const SweepOptions& options = {});
+
+/// The modelling dataset for a sweep: 24 feature columns (Table 1) plus the
+/// cycle-count target.
+data::Dataset sweep_dataset(const SweepResult& sweep);
+
+}  // namespace dsml::dse

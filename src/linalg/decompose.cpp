@@ -1,0 +1,190 @@
+#include "linalg/decompose.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dsml::linalg {
+
+namespace {
+constexpr double kRankTol = 1e-12;
+}
+
+QR::QR(const Matrix& a) : m_(a.rows()), n_(a.cols()), qr_(a), rdiag_(a.cols()) {
+  DSML_REQUIRE(m_ >= n_ && n_ > 0, "QR: requires m >= n > 0");
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Compute the norm of column k below (and including) the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m_; ++i) {
+      norm = std::hypot(norm, qr_(i, k));
+    }
+    if (norm == 0.0) {
+      rdiag_[k] = 0.0;
+      continue;
+    }
+    if (qr_(k, k) < 0.0) norm = -norm;
+    for (std::size_t i = k; i < m_; ++i) qr_(i, k) /= norm;
+    qr_(k, k) += 1.0;
+    // Apply the reflector to the remaining columns.
+    for (std::size_t j = k + 1; j < n_; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m_; ++i) s += qr_(i, k) * qr_(i, j);
+      s = -s / qr_(k, k);
+      for (std::size_t i = k; i < m_; ++i) qr_(i, j) += s * qr_(i, k);
+    }
+    rdiag_[k] = -norm;
+  }
+  double max_diag = 0.0;
+  double min_diag = std::numeric_limits<double>::infinity();
+  for (double d : rdiag_) {
+    max_diag = std::max(max_diag, std::abs(d));
+    min_diag = std::min(min_diag, std::abs(d));
+  }
+  diag_ratio_ = max_diag > 0.0 ? min_diag / max_diag : 0.0;
+  rank_deficient_ = (max_diag == 0.0) || (min_diag <= kRankTol * max_diag);
+}
+
+Vector QR::apply_qt(std::span<const double> b) const {
+  DSML_REQUIRE(b.size() == m_, "QR::apply_qt: size mismatch");
+  Vector y(b.begin(), b.end());
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (rdiag_[k] == 0.0 && qr_(k, k) == 0.0) continue;
+    double s = 0.0;
+    for (std::size_t i = k; i < m_; ++i) s += qr_(i, k) * y[i];
+    if (qr_(k, k) == 0.0) continue;
+    s = -s / qr_(k, k);
+    for (std::size_t i = k; i < m_; ++i) y[i] += s * qr_(i, k);
+  }
+  return y;
+}
+
+Vector QR::solve(std::span<const double> b) const {
+  Vector y = apply_qt(b);
+  // Truncated back substitution in R: pivots below kRankTol of the largest
+  // correspond to (numerically) unidentifiable directions — e.g. duplicated
+  // or exactly collinear design columns — whose coefficients we pin to zero
+  // instead of amplifying rounding noise into huge cancelling pairs.
+  double max_diag = 0.0;
+  for (double d : rdiag_) max_diag = std::max(max_diag, std::abs(d));
+  const double pivot_floor = kRankTol * max_diag;
+  Vector x(n_, 0.0);
+  for (std::size_t kk = n_; kk-- > 0;) {
+    const double diag = rdiag_[kk];
+    if (std::abs(diag) <= pivot_floor) {
+      x[kk] = 0.0;
+      continue;
+    }
+    double s = y[kk];
+    for (std::size_t j = kk + 1; j < n_; ++j) s -= qr_(kk, j) * x[j];
+    x[kk] = s / diag;
+  }
+  return x;
+}
+
+Matrix QR::r() const {
+  Matrix r(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    r(i, i) = rdiag_[i];
+    for (std::size_t j = i + 1; j < n_; ++j) r(i, j) = qr_(i, j);
+  }
+  return r;
+}
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  DSML_REQUIRE(a.rows() == a.cols() && a.rows() > 0,
+               "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (s <= 0.0) {
+          throw NumericalError("Cholesky: matrix is not positive definite");
+        }
+        l_(i, i) = std::sqrt(s);
+      } else {
+        l_(i, j) = s / l_(j, j);
+      }
+    }
+  }
+}
+
+Vector Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = l_.rows();
+  DSML_REQUIRE(b.size() == n, "Cholesky::solve: size mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::inverse() const {
+  const std::size_t n = l_.rows();
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    Vector col = solve(e);
+    e[j] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+  }
+  return inv;
+}
+
+Vector solve_least_squares(const Matrix& a, std::span<const double> b) {
+  return QR(a).solve(b);
+}
+
+Vector solve_upper_triangular(const Matrix& r, std::span<const double> b) {
+  const std::size_t n = r.rows();
+  DSML_REQUIRE(r.cols() == n && b.size() == n,
+               "solve_upper_triangular: shape mismatch");
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= r(ii, j) * x[j];
+    DSML_REQUIRE(std::abs(r(ii, ii)) > 0.0,
+                 "solve_upper_triangular: zero pivot");
+    x[ii] = s / r(ii, ii);
+  }
+  return x;
+}
+
+Matrix xtx_inverse_from_qr(const QR& qr) {
+  // (X^T X)^-1 = R^-1 R^-T. Compute R^-1 column by column, then multiply.
+  const Matrix r = qr.r();
+  const std::size_t n = r.rows();
+  Matrix rinv(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    Vector col = solve_upper_triangular(r, e);
+    e[j] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rinv(i, j) = col[i];
+  }
+  // (X^T X)^-1 = R^-1 * (R^-1)^T
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = std::max(i, j); k < n; ++k) {
+        s += rinv(i, k) * rinv(j, k);
+      }
+      out(i, j) = s;
+      out(j, i) = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace dsml::linalg

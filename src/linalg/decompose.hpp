@@ -1,0 +1,78 @@
+// Matrix factorizations and solvers.
+//
+// QR (Householder) is the workhorse for least squares — numerically safer
+// than forming normal equations for the regression design matrices used by
+// the LR models. Cholesky is provided for symmetric positive-definite
+// systems (Gram matrices, covariance).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace dsml::linalg {
+
+/// Householder QR of an m x n matrix with m >= n.
+///
+/// Stores the factorization compactly; use `solve_least_squares` or the
+/// accessors. Throws NumericalError if the matrix is rank-deficient to
+/// working precision (a diagonal of R below `rank_tol * max_diag`).
+class QR {
+ public:
+  explicit QR(const Matrix& a);
+
+  std::size_t rows() const noexcept { return m_; }
+  std::size_t cols() const noexcept { return n_; }
+
+  /// Minimum-residual solution of A x = b (least squares when m > n).
+  Vector solve(std::span<const double> b) const;
+
+  /// Upper-triangular factor R (n x n).
+  Matrix r() const;
+
+  /// Apply Q^T to a vector of length m.
+  Vector apply_qt(std::span<const double> b) const;
+
+  /// |R_ii| smallest / largest — crude conditioning diagnostic.
+  double diag_ratio() const noexcept { return diag_ratio_; }
+
+  /// True if the factorization detected (near-)rank deficiency. `solve`
+  /// still works by regularising tiny pivots, but inference statistics based
+  /// on (X^T X)^-1 should be treated with care.
+  bool rank_deficient() const noexcept { return rank_deficient_; }
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  Matrix qr_;            // Householder vectors below the diagonal, R on/above
+  Vector rdiag_;         // diagonal of R
+  double diag_ratio_ = 0.0;
+  bool rank_deficient_ = false;
+};
+
+/// Cholesky factorization (A = L L^T) of a symmetric positive-definite
+/// matrix. Throws NumericalError if A is not positive definite.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  Vector solve(std::span<const double> b) const;
+
+  /// Inverse of A via forward/back substitution of identity columns.
+  Matrix inverse() const;
+
+  const Matrix& l() const noexcept { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+/// Convenience: least-squares solution to A x = b via QR.
+Vector solve_least_squares(const Matrix& a, std::span<const double> b);
+
+/// Solve an upper-triangular system R x = b.
+Vector solve_upper_triangular(const Matrix& r, std::span<const double> b);
+
+/// Inverse of (A^T A) computed from the R factor of A's QR — this is the
+/// coefficient covariance kernel used for regression t statistics.
+Matrix xtx_inverse_from_qr(const QR& qr);
+
+}  // namespace dsml::linalg

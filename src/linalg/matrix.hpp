@@ -1,0 +1,104 @@
+// Dense row-major matrix and vector types.
+//
+// Sized for the library's needs: regression design matrices of a few
+// thousand rows by a few dozen columns and MLP weight matrices of a few
+// hundred entries. Simplicity and correctness over BLAS-level tuning; the
+// hot loops are still written cache-friendly (row-major traversal, ikj
+// multiply).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dsml::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer list (row major); all rows must have
+  /// equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Checked element access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> data() noexcept { return data_; }
+  std::span<const double> data() const noexcept { return data_; }
+
+  Matrix transposed() const;
+
+  /// this * other (dims must agree).
+  Matrix multiply(const Matrix& other) const;
+
+  /// this * v.
+  Vector multiply(std::span<const double> v) const;
+
+  /// transpose(this) * v  — avoids materialising the transpose.
+  Vector multiply_transposed(std::span<const double> v) const;
+
+  /// transpose(this) * this, exploiting symmetry (Gram matrix for normal
+  /// equations and covariance computations).
+  Matrix gram() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s) noexcept;
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Extract the given columns (in order) into a new matrix.
+  Matrix select_columns(std::span<const std::size_t> cols) const;
+
+  /// Extract the given rows (in order) into a new matrix.
+  Matrix select_rows(std::span<const std::size_t> rows) const;
+
+  /// Max |a_ij - b_ij|; matrices must be the same shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Vector helpers (free functions over std::vector<double>).
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+Vector subtract(std::span<const double> a, std::span<const double> b);
+Vector add(std::span<const double> a, std::span<const double> b);
+Vector scale(std::span<const double> a, double s);
+
+}  // namespace dsml::linalg

@@ -1,0 +1,65 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace dsml::ml {
+
+std::vector<double> absolute_percentage_errors(
+    std::span<const double> predicted, std::span<const double> truth) {
+  DSML_REQUIRE(predicted.size() == truth.size() && !truth.empty(),
+               "absolute_percentage_errors: size mismatch or empty");
+  std::vector<double> errors(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    DSML_REQUIRE(truth[i] > 0.0,
+                 "absolute_percentage_errors: non-positive true value");
+    errors[i] = 100.0 * std::abs(predicted[i] - truth[i]) / truth[i];
+  }
+  return errors;
+}
+
+double mape(std::span<const double> predicted, std::span<const double> truth) {
+  const auto errors = absolute_percentage_errors(predicted, truth);
+  return stats::mean(errors);
+}
+
+ErrorSummary summarize_errors(std::span<const double> predicted,
+                              std::span<const double> truth) {
+  const auto errors = absolute_percentage_errors(predicted, truth);
+  ErrorSummary s;
+  s.mean = stats::mean(errors);
+  s.stddev = errors.size() >= 2 ? stats::stddev(errors) : 0.0;
+  s.max = stats::max(errors);
+  s.count = errors.size();
+  return s;
+}
+
+double rmse(std::span<const double> predicted, std::span<const double> truth) {
+  DSML_REQUIRE(predicted.size() == truth.size() && !truth.empty(),
+               "rmse: size mismatch or empty");
+  double ss = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(truth.size()));
+}
+
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> truth) {
+  DSML_REQUIRE(predicted.size() == truth.size() && truth.size() >= 2,
+               "r_squared: need >= 2 points");
+  const double my = stats::mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - my) * (truth[i] - my);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace dsml::ml

@@ -1,0 +1,36 @@
+// Error metrics. The paper reports the mean (and, for Figures 7–8, standard
+// deviation) of the percentage prediction error 100*|ŷ−y|/y.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dsml::ml {
+
+/// Per-record absolute percentage errors: 100*|ŷ_i − y_i| / y_i.
+/// Requires strictly positive true values (cycle counts and SPEC rates are).
+std::vector<double> absolute_percentage_errors(
+    std::span<const double> predicted, std::span<const double> truth);
+
+/// Mean absolute percentage error.
+double mape(std::span<const double> predicted, std::span<const double> truth);
+
+/// Summary of an error distribution (what one figure errorbar shows).
+struct ErrorSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+ErrorSummary summarize_errors(std::span<const double> predicted,
+                              std::span<const double> truth);
+
+/// Root mean squared error.
+double rmse(std::span<const double> predicted, std::span<const double> truth);
+
+/// Coefficient of determination R².
+double r_squared(std::span<const double> predicted,
+                 std::span<const double> truth);
+
+}  // namespace dsml::ml

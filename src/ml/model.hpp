@@ -1,0 +1,58 @@
+// The Regressor interface every predictive model in the paper implements:
+// four linear-regression variants (LR-E/S/F/B) and six neural-network
+// training regimes (NN-Q/D/M/P/E and the Ipek-style NN-S baseline).
+//
+// A model owns its data preparation (paper §3.4): callers hand it a typed
+// Dataset, and the model internally encodes/scales features the way its
+// family requires. fit() + predict() is the whole contract; importance()
+// exposes the per-predictor relevance numbers §4.4 reports.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dsml::ml {
+
+/// Relative importance of one source predictor (0 = no effect on the
+/// prediction, 1 = completely determines it). For linear models this is the
+/// absolute standardized beta; for networks a min-max sensitivity sweep.
+struct PredictorImportance {
+  std::string name;
+  double importance = 0.0;
+};
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Train on a dataset (must have a target). May be called once per object.
+  virtual void fit(const data::Dataset& train) = 0;
+
+  /// Predict the target for every row. Requires fit() first; the dataset
+  /// must have the training schema.
+  virtual std::vector<double> predict(const data::Dataset& dataset) const = 0;
+
+  /// Short identifier matching the paper's naming (e.g. "LR-B", "NN-E").
+  virtual std::string name() const = 0;
+
+  /// Per-source-predictor importance, descending. Empty if unfitted.
+  virtual std::vector<PredictorImportance> importance() const { return {}; }
+
+  virtual bool fitted() const noexcept = 0;
+};
+
+/// Factory producing fresh, unfitted model instances — the unit the
+/// cross-validation estimator and the Select meta-method operate on.
+using ModelFactory = std::function<std::unique_ptr<Regressor>()>;
+
+/// A named factory, convenient for experiment sweeps over model menus.
+struct NamedModel {
+  std::string name;
+  ModelFactory make;
+};
+
+}  // namespace dsml::ml

@@ -1,0 +1,66 @@
+#include "ml/model_zoo.hpp"
+
+namespace dsml::ml {
+
+namespace {
+
+NamedModel make_lr(const std::string& name, LinRegMethod method) {
+  return NamedModel{name, [method]() -> std::unique_ptr<Regressor> {
+                      LinearRegression::Options opt;
+                      opt.method = method;
+                      return std::make_unique<LinearRegression>(opt);
+                    }};
+}
+
+NamedModel make_nn(const std::string& name, NnMethod method,
+                   const ZooOptions& zoo) {
+  return NamedModel{name, [method, zoo]() -> std::unique_ptr<Regressor> {
+                      NeuralRegressor::Options opt;
+                      opt.method = method;
+                      opt.seed = zoo.nn_seed;
+                      opt.epoch_scale = zoo.nn_epoch_scale;
+                      return std::make_unique<NeuralRegressor>(opt);
+                    }};
+}
+
+}  // namespace
+
+NamedModel make_model(const std::string& name, const ZooOptions& options) {
+  if (name == "LR-E") return make_lr(name, LinRegMethod::kEnter);
+  if (name == "LR-S") return make_lr(name, LinRegMethod::kStepwise);
+  if (name == "LR-F") return make_lr(name, LinRegMethod::kForward);
+  if (name == "LR-B") return make_lr(name, LinRegMethod::kBackward);
+  if (name == "NN-Q") return make_nn(name, NnMethod::kQuick, options);
+  if (name == "NN-D") return make_nn(name, NnMethod::kDynamic, options);
+  if (name == "NN-M") return make_nn(name, NnMethod::kMultiple, options);
+  if (name == "NN-P") return make_nn(name, NnMethod::kPrune, options);
+  if (name == "NN-E")
+    return make_nn(name, NnMethod::kExhaustivePrune, options);
+  if (name == "NN-S") return make_nn(name, NnMethod::kSingle, options);
+  throw InvalidArgument("make_model: unknown model '" + name + "'");
+}
+
+std::vector<NamedModel> chronological_menu(const ZooOptions& options) {
+  std::vector<NamedModel> menu;
+  for (const char* name :
+       {"LR-E", "LR-S", "LR-B", "LR-F", "NN-Q", "NN-D", "NN-M", "NN-P",
+        "NN-E"}) {
+    menu.push_back(make_model(name, options));
+  }
+  return menu;
+}
+
+std::vector<NamedModel> sampled_dse_menu(const ZooOptions& options) {
+  std::vector<NamedModel> menu;
+  for (const char* name : {"LR-B", "NN-E", "NN-S"}) {
+    menu.push_back(make_model(name, options));
+  }
+  return menu;
+}
+
+std::vector<std::string> all_model_names() {
+  return {"LR-E", "LR-S", "LR-F", "LR-B", "NN-Q",
+          "NN-D", "NN-M", "NN-P", "NN-E", "NN-S"};
+}
+
+}  // namespace dsml::ml

@@ -1,0 +1,37 @@
+// Canonical model menus used across the paper's experiments.
+//
+// The paper evaluates nine models — four LR methods and five NN methods —
+// plus NN-S (the Ipek-style baseline) in the sampled-DSE study. These
+// helpers build the corresponding NamedModel lists so experiments and
+// benches all agree on configuration.
+#pragma once
+
+#include "ml/linreg.hpp"
+#include "ml/model.hpp"
+#include "ml/nn_models.hpp"
+
+namespace dsml::ml {
+
+/// Knobs threaded through to every constructed model.
+struct ZooOptions {
+  std::uint64_t nn_seed = 0x5eed;
+  /// Multiplies NN epoch budgets (tests use < 1 for speed).
+  double nn_epoch_scale = 1.0;
+};
+
+/// One specific model by paper name ("LR-E", "LR-S", "LR-F", "LR-B", "NN-Q",
+/// "NN-D", "NN-M", "NN-P", "NN-E", "NN-S"). Throws InvalidArgument for an
+/// unknown name.
+NamedModel make_model(const std::string& name, const ZooOptions& options = {});
+
+/// The nine models of Figures 7–8, in the paper's x-axis order:
+/// LR-E, LR-S, LR-B, LR-F, NN-Q, NN-D, NN-M, NN-P, NN-E.
+std::vector<NamedModel> chronological_menu(const ZooOptions& options = {});
+
+/// The three models shown in Figures 2–6: LR-B, NN-E, NN-S.
+std::vector<NamedModel> sampled_dse_menu(const ZooOptions& options = {});
+
+/// All ten model names known to the zoo.
+std::vector<std::string> all_model_names();
+
+}  // namespace dsml::ml

@@ -1,0 +1,71 @@
+#include "ml/serialize.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/serial.hpp"
+#include "ml/linreg.hpp"
+#include "ml/nn_models.hpp"
+#include "ml/validation.hpp"
+
+namespace dsml::ml {
+
+namespace {
+constexpr const char* kMagic = "dsml-model";
+constexpr std::uint64_t kVersion = 1;
+}  // namespace
+
+void save_model(const Regressor& model, std::ostream& out) {
+  serial::Writer writer(out);
+  writer.tag(kMagic);
+  writer.u64(kVersion);
+  if (const auto* lr = dynamic_cast<const LinearRegression*>(&model)) {
+    writer.str("linreg");
+    lr->save(writer);
+    return;
+  }
+  if (const auto* nn = dynamic_cast<const NeuralRegressor*>(&model)) {
+    writer.str("neural");
+    nn->save(writer);
+    return;
+  }
+  throw InvalidArgument("save_model: unsupported model type '" +
+                        model.name() + "'");
+}
+
+void save_model(const Regressor& model, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) throw IoError("save_model: cannot write '" + path + "'");
+  save_model(model, out);
+}
+
+std::unique_ptr<Regressor> load_model(std::istream& in) {
+  serial::Reader reader(in);
+  reader.expect_tag(kMagic);
+  const std::uint64_t version = reader.u64();
+  if (version != kVersion) {
+    throw IoError("load_model: unsupported format version " +
+                  std::to_string(version));
+  }
+  const std::string type = reader.str();
+  if (type == "linreg") {
+    return std::make_unique<LinearRegression>(LinearRegression::load(reader));
+  }
+  if (type == "neural") {
+    return std::make_unique<NeuralRegressor>(NeuralRegressor::load(reader));
+  }
+  throw IoError("load_model: unknown model type '" + type + "'");
+}
+
+std::unique_ptr<Regressor> load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("load_model: cannot open '" + path + "'");
+  return load_model(in);
+}
+
+}  // namespace dsml::ml

@@ -1,0 +1,87 @@
+#include "ml/validation.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stats.hpp"
+#include "data/split.hpp"
+#include "ml/metrics.hpp"
+
+namespace dsml::ml {
+
+ErrorEstimate estimate_error(const ModelFactory& factory,
+                             const data::Dataset& train,
+                             const ValidationOptions& options) {
+  DSML_REQUIRE(options.repeats >= 1, "estimate_error: repeats must be >= 1");
+  DSML_REQUIRE(train.n_rows() >= 8,
+               "estimate_error: need at least 8 rows to split");
+  Rng rng(options.seed);
+  ErrorEstimate est;
+  est.folds.reserve(options.repeats);
+  for (std::size_t rep = 0; rep < options.repeats; ++rep) {
+    auto [fit_idx, holdout_idx] = data::split_half(train.n_rows(), rng);
+    const data::Dataset fit_part = train.select_rows(fit_idx);
+    const data::Dataset holdout_part = train.select_rows(holdout_idx);
+    auto model = factory();
+    model->fit(fit_part);
+    const auto predicted = model->predict(holdout_part);
+    est.folds.push_back(mape(predicted, holdout_part.target()));
+  }
+  est.average = stats::mean(est.folds);
+  est.maximum = stats::max(est.folds);
+  return est;
+}
+
+SelectModel::SelectModel(std::vector<NamedModel> candidates,
+                         ValidationOptions options)
+    : candidates_(std::move(candidates)), options_(options) {
+  DSML_REQUIRE(!candidates_.empty(), "SelectModel: no candidates");
+}
+
+void SelectModel::fit(const data::Dataset& train) {
+  estimates_.clear();
+  estimates_.reserve(candidates_.size());
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    ValidationOptions opts = options_;
+    opts.seed = options_.seed + i;  // folds differ per candidate, as when
+                                    // each model is evaluated independently
+    estimates_.push_back(estimate_error(candidates_[i].make, train, opts));
+    if (estimates_.back().maximum < best) {
+      best = estimates_.back().maximum;
+      best_idx = i;
+    }
+  }
+  chosen_index_ = best_idx;
+  chosen_name_ = candidates_[best_idx].name;
+  chosen_ = candidates_[best_idx].make();
+  chosen_->fit(train);
+}
+
+std::vector<double> SelectModel::predict(const data::Dataset& dataset) const {
+  DSML_REQUIRE(chosen_ != nullptr, "SelectModel::predict: not fitted");
+  return chosen_->predict(dataset);
+}
+
+std::string SelectModel::name() const {
+  if (chosen_ == nullptr) return "Select";
+  return "Select(" + chosen_name_ + ")";
+}
+
+std::vector<PredictorImportance> SelectModel::importance() const {
+  if (chosen_ == nullptr) return {};
+  return chosen_->importance();
+}
+
+const std::string& SelectModel::chosen_name() const {
+  DSML_REQUIRE(chosen_ != nullptr, "SelectModel::chosen_name: not fitted");
+  return chosen_name_;
+}
+
+const ErrorEstimate& SelectModel::chosen_estimate() const {
+  DSML_REQUIRE(chosen_ != nullptr, "SelectModel::chosen_estimate: not fitted");
+  return estimates_[chosen_index_];
+}
+
+}  // namespace dsml::ml

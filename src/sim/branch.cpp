@@ -1,0 +1,114 @@
+#include "sim/branch.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace dsml::sim {
+
+namespace {
+
+inline bool counter_taken(std::uint8_t c) noexcept { return c >= 2; }
+
+inline std::uint8_t counter_update(std::uint8_t c, bool taken) noexcept {
+  if (taken) return c < 3 ? c + 1 : 3;
+  return c > 0 ? c - 1 : 0;
+}
+
+}  // namespace
+
+std::unique_ptr<BranchPredictor> make_branch_predictor(
+    BranchPredictorKind kind) {
+  switch (kind) {
+    case BranchPredictorKind::kPerfect:
+      return std::make_unique<PerfectPredictor>();
+    case BranchPredictorKind::kBimodal:
+      return std::make_unique<BimodalPredictor>();
+    case BranchPredictorKind::kTwoLevel:
+      return std::make_unique<TwoLevelPredictor>();
+    case BranchPredictorKind::kCombination:
+      return std::make_unique<CombinationPredictor>();
+  }
+  throw InvalidArgument("make_branch_predictor: unknown kind");
+}
+
+bool PerfectPredictor::predict_and_update(std::uint64_t /*pc*/, bool taken) {
+  record(true);
+  return taken;
+}
+
+BimodalPredictor::BimodalPredictor(std::size_t table_size)
+    : table_(table_size, 1), mask_(table_size - 1) {
+  DSML_REQUIRE(std::has_single_bit(table_size),
+               "BimodalPredictor: table size must be a power of two");
+}
+
+bool BimodalPredictor::peek(std::uint64_t pc) const {
+  return counter_taken(table_[(pc >> 2) & mask_]);
+}
+
+void BimodalPredictor::train(std::uint64_t pc, bool taken) {
+  std::uint8_t& c = table_[(pc >> 2) & mask_];
+  c = counter_update(c, taken);
+}
+
+bool BimodalPredictor::predict_and_update(std::uint64_t pc, bool taken) {
+  const bool prediction = peek(pc);
+  record(prediction == taken);
+  train(pc, taken);
+  return prediction;
+}
+
+TwoLevelPredictor::TwoLevelPredictor(std::size_t table_size,
+                                     std::uint32_t history_bits)
+    : table_(table_size, 1),
+      mask_(table_size - 1),
+      history_mask_((1ULL << history_bits) - 1) {
+  DSML_REQUIRE(std::has_single_bit(table_size),
+               "TwoLevelPredictor: table size must be a power of two");
+  DSML_REQUIRE(history_bits >= 1 && history_bits <= 32,
+               "TwoLevelPredictor: history_bits outside [1,32]");
+}
+
+std::size_t TwoLevelPredictor::index(std::uint64_t pc) const {
+  return ((pc >> 2) ^ history_) & mask_;
+}
+
+bool TwoLevelPredictor::peek(std::uint64_t pc) const {
+  return counter_taken(table_[index(pc)]);
+}
+
+void TwoLevelPredictor::train(std::uint64_t pc, bool taken) {
+  std::uint8_t& c = table_[index(pc)];
+  c = counter_update(c, taken);
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+}
+
+bool TwoLevelPredictor::predict_and_update(std::uint64_t pc, bool taken) {
+  const bool prediction = peek(pc);
+  record(prediction == taken);
+  train(pc, taken);
+  return prediction;
+}
+
+CombinationPredictor::CombinationPredictor()
+    : meta_(1024, 2), meta_mask_(1023) {}
+
+bool CombinationPredictor::predict_and_update(std::uint64_t pc, bool taken) {
+  const bool p_bimodal = bimodal_.peek(pc);
+  const bool p_two_level = two_level_.peek(pc);
+  std::uint8_t& meta = meta_[(pc >> 2) & meta_mask_];
+  const bool prediction = counter_taken(meta) ? p_two_level : p_bimodal;
+  record(prediction == taken);
+  // Train the meta predictor toward the component that was right.
+  const bool bimodal_right = p_bimodal == taken;
+  const bool two_level_right = p_two_level == taken;
+  if (bimodal_right != two_level_right) {
+    meta = counter_update(meta, two_level_right);
+  }
+  bimodal_.train(pc, taken);
+  two_level_.train(pc, taken);
+  return prediction;
+}
+
+}  // namespace dsml::sim

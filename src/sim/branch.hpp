@@ -1,0 +1,102 @@
+// Branch direction predictors: the four kinds of Table 1.
+//
+//   perfect     — oracle; never mispredicts (an upper bound SimpleScalar
+//                 also offers);
+//   bimodal     — PC-indexed table of 2-bit saturating counters;
+//   2-level     — gshare-style: global history XOR PC indexes the counter
+//                 table;
+//   combination — tournament of bimodal and 2-level with a meta-predictor
+//                 choosing per branch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace dsml::sim {
+
+class BranchPredictor {
+ public:
+  virtual ~BranchPredictor() = default;
+
+  /// Predict the direction of the branch at `pc`, then update internal state
+  /// with the true outcome. Returns the prediction.
+  virtual bool predict_and_update(std::uint64_t pc, bool taken) = 0;
+
+  std::uint64_t lookups() const noexcept { return lookups_; }
+  std::uint64_t mispredicts() const noexcept { return mispredicts_; }
+  double mispredict_rate() const noexcept {
+    return lookups_ > 0 ? static_cast<double>(mispredicts_) /
+                              static_cast<double>(lookups_)
+                        : 0.0;
+  }
+
+ protected:
+  void record(bool correct) noexcept {
+    ++lookups_;
+    if (!correct) ++mispredicts_;
+  }
+
+ private:
+  std::uint64_t lookups_ = 0;
+  std::uint64_t mispredicts_ = 0;
+};
+
+/// Factory for the predictor kinds of Table 1. Table sizes follow
+/// SimpleScalar defaults (2K-entry bimodal, 1K-entry level-2 table with
+/// 12-bit history, 1K-entry meta table).
+std::unique_ptr<BranchPredictor> make_branch_predictor(
+    BranchPredictorKind kind);
+
+class PerfectPredictor final : public BranchPredictor {
+ public:
+  bool predict_and_update(std::uint64_t pc, bool taken) override;
+};
+
+class BimodalPredictor final : public BranchPredictor {
+ public:
+  explicit BimodalPredictor(std::size_t table_size = 2048);
+  bool predict_and_update(std::uint64_t pc, bool taken) override;
+
+  /// Raw prediction without stats/update — used by the tournament predictor.
+  bool peek(std::uint64_t pc) const;
+  void train(std::uint64_t pc, bool taken);
+
+ private:
+  std::vector<std::uint8_t> table_;  // 2-bit counters
+  std::size_t mask_;
+};
+
+class TwoLevelPredictor final : public BranchPredictor {
+ public:
+  explicit TwoLevelPredictor(std::size_t table_size = 4096,
+                             std::uint32_t history_bits = 12);
+  bool predict_and_update(std::uint64_t pc, bool taken) override;
+
+  bool peek(std::uint64_t pc) const;
+  void train(std::uint64_t pc, bool taken);  ///< updates table and history
+
+ private:
+  std::size_t index(std::uint64_t pc) const;
+
+  std::vector<std::uint8_t> table_;
+  std::size_t mask_;
+  std::uint64_t history_ = 0;
+  std::uint64_t history_mask_;
+};
+
+class CombinationPredictor final : public BranchPredictor {
+ public:
+  CombinationPredictor();
+  bool predict_and_update(std::uint64_t pc, bool taken) override;
+
+ private:
+  BimodalPredictor bimodal_;
+  TwoLevelPredictor two_level_;
+  std::vector<std::uint8_t> meta_;  // 2-bit: >=2 favours two-level
+  std::size_t meta_mask_;
+};
+
+}  // namespace dsml::sim

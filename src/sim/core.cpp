@@ -1,0 +1,307 @@
+#include "sim/core.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dsml::sim {
+
+namespace {
+
+/// Tracks "how many events happened in cycle c" for bandwidth limits
+/// (dispatch/issue/commit width) without a full calendar: a ring keyed by
+/// cycle number with lazy reset.
+class BandwidthLimiter {
+ public:
+  explicit BandwidthLimiter(std::uint32_t per_cycle)
+      : per_cycle_(per_cycle), cycle_of_(kSlots, ~0ULL), count_(kSlots, 0) {}
+
+  /// Earliest cycle >= `earliest` with a free slot; claims the slot.
+  std::uint64_t claim(std::uint64_t earliest) {
+    std::uint64_t c = earliest;
+    for (;;) {
+      auto& cyc = cycle_of_[c & (kSlots - 1)];
+      auto& cnt = count_[c & (kSlots - 1)];
+      if (cyc != c) {
+        cyc = c;
+        cnt = 0;
+      }
+      if (cnt < per_cycle_) {
+        ++cnt;
+        return c;
+      }
+      ++c;
+    }
+  }
+
+ private:
+  static constexpr std::size_t kSlots = 1024;
+  std::uint32_t per_cycle_;
+  std::vector<std::uint64_t> cycle_of_;
+  std::vector<std::uint32_t> count_;
+};
+
+/// A pool of identical functional units; each unit is pipelined (initiation
+/// interval 1) so contention comes from the unit count and issue bursts.
+class UnitPool {
+ public:
+  explicit UnitPool(int count) : free_at_(static_cast<std::size_t>(count), 0) {}
+
+  /// Earliest cycle >= `earliest` a unit can accept this op; books the unit.
+  std::uint64_t acquire(std::uint64_t earliest) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < free_at_.size(); ++i) {
+      if (free_at_[i] < free_at_[best]) best = i;
+    }
+    const std::uint64_t start = std::max(earliest, free_at_[best]);
+    free_at_[best] = start + 1;  // pipelined: busy for one issue slot
+    return start;
+  }
+
+ private:
+  std::vector<std::uint64_t> free_at_;
+};
+
+}  // namespace
+
+OutOfOrderCore::OutOfOrderCore(const ProcessorConfig& config,
+                               const LatencyModel& latency)
+    : config_(config),
+      lat_(latency),
+      l1d_(static_cast<std::uint64_t>(config.l1d_size_kb) * 1024,
+           static_cast<std::uint32_t>(config.l1d_line_b),
+           static_cast<std::uint32_t>(config.l1d_assoc)),
+      l1i_(static_cast<std::uint64_t>(config.l1i_size_kb) * 1024,
+           static_cast<std::uint32_t>(config.l1i_line_b),
+           static_cast<std::uint32_t>(config.l1i_assoc)),
+      l2_(static_cast<std::uint64_t>(config.l2_size_kb) * 1024,
+          static_cast<std::uint32_t>(config.l2_line_b),
+          static_cast<std::uint32_t>(config.l2_assoc)),
+      l3_(config.has_l3()
+              ? static_cast<std::uint64_t>(config.l3_size_mb) * 1024 * 1024
+              : 1024 * 1024,  // placeholder geometry; unused when absent
+          config.has_l3() ? static_cast<std::uint32_t>(config.l3_line_b) : 256,
+          config.has_l3() ? static_cast<std::uint32_t>(config.l3_assoc) : 8),
+      itlb_(static_cast<std::uint64_t>(config.itlb_size_kb)),
+      dtlb_(static_cast<std::uint64_t>(config.dtlb_size_kb)),
+      predictor_(make_branch_predictor(config.branch_predictor)) {
+  config.validate();
+}
+
+int OutOfOrderCore::data_access_latency(std::uint64_t addr) {
+  int latency = config_.l1d_size_kb >= 64 ? lat_.l1d_hit_large : lat_.l1d_hit;
+  if (!dtlb_.access(addr)) latency += lat_.tlb_miss;
+  if (l1d_.access(addr)) return latency;
+  latency += config_.l2_size_kb >= 1024 ? lat_.l2_hit_large : lat_.l2_hit;
+  if (l2_.access(addr)) return latency;
+  if (config_.has_l3()) {
+    latency += lat_.l3_hit;
+    if (l3_.access(addr)) return latency;
+  }
+  return latency + lat_.memory;
+}
+
+int OutOfOrderCore::fetch_access_latency(std::uint64_t pc) {
+  int latency = 0;
+  if (!itlb_.access(pc)) latency += lat_.tlb_miss;
+  if (l1i_.access(pc)) return latency;
+  latency += config_.l2_size_kb >= 1024 ? lat_.l2_hit_large : lat_.l2_hit;
+  if (l2_.access(pc)) return latency;
+  if (config_.has_l3()) {
+    latency += lat_.l3_hit;
+    if (l3_.access(pc)) return latency;
+  }
+  return latency + lat_.memory;
+}
+
+SimResult OutOfOrderCore::run(std::span<const Instr> trace) {
+  DSML_REQUIRE(!trace.empty(), "OutOfOrderCore::run: empty trace");
+  const std::size_t n = trace.size();
+  const auto width = static_cast<std::uint32_t>(config_.width);
+
+  // Completion & commit time rings. The window is bounded by the RUU, so a
+  // ring a bit larger than the largest RUU suffices; older producers have
+  // long completed.
+  constexpr std::size_t kRing = 512;
+  static_assert((kRing & (kRing - 1)) == 0);
+  std::vector<std::uint64_t> complete_ring(kRing, 0);
+  std::vector<std::uint64_t> commit_ring(kRing, 0);
+  // Commit cycles of memory ops (LSQ occupancy tracking).
+  std::vector<std::uint64_t> mem_commit_ring(kRing, 0);
+  std::size_t mem_op_count = 0;
+
+  BandwidthLimiter dispatch_bw(width);
+  BandwidthLimiter issue_bw(width);
+  BandwidthLimiter commit_bw(width);
+
+  UnitPool ialu(config_.fu.ialu);
+  UnitPool imult(config_.fu.imult);
+  UnitPool memport(config_.fu.memport);
+  UnitPool fpalu(config_.fu.fpalu);
+  UnitPool fpmult(config_.fu.fpmult);
+
+  const auto ruu = static_cast<std::size_t>(config_.ruu_size);
+  const auto lsq = static_cast<std::size_t>(config_.lsq_size);
+
+  std::uint64_t fetch_ready = 1;  // cycle the next fetch group can start
+  std::uint64_t last_fetch_line = ~0ULL;
+  std::uint32_t fetched_in_group = 0;
+  std::uint64_t prev_commit = 0;
+
+  SimStats stats;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instr& ins = trace[i];
+
+    // ---------------- fetch ----------------
+    // A new I$ line costs a cache lookup; within a line fetch is free.
+    const std::uint64_t line =
+        ins.pc / static_cast<std::uint64_t>(config_.l1i_line_b);
+    if (line != last_fetch_line) {
+      fetch_ready += static_cast<std::uint64_t>(fetch_access_latency(ins.pc));
+      last_fetch_line = line;
+      fetched_in_group = 0;
+    }
+    if (++fetched_in_group > width) {
+      ++fetch_ready;  // fetch bandwidth exhausted; next group next cycle
+      fetched_in_group = 1;
+    }
+    const std::uint64_t fetch_time = fetch_ready;
+
+    // ---------------- dispatch ----------------
+    std::uint64_t window_free = 0;
+    if (i >= ruu) window_free = commit_ring[(i - ruu) & (kRing - 1)];
+    const bool is_mem = ins.op == OpClass::kLoad || ins.op == OpClass::kStore;
+    if (is_mem && mem_op_count >= lsq) {
+      window_free = std::max(
+          window_free, mem_commit_ring[(mem_op_count - lsq) & (kRing - 1)]);
+    }
+    const std::uint64_t dispatch_time = dispatch_bw.claim(std::max(
+        fetch_time + static_cast<std::uint64_t>(lat_.decode_pipeline),
+        window_free));
+
+    // ---------------- operand readiness ----------------
+    std::uint64_t ready = dispatch_time + 1;
+    if (ins.dep1 != 0 && ins.dep1 <= i && ins.dep1 < kRing) {
+      ready = std::max(ready, complete_ring[(i - ins.dep1) & (kRing - 1)]);
+    }
+    if (ins.dep2 != 0 && ins.dep2 <= i && ins.dep2 < kRing) {
+      ready = std::max(ready, complete_ring[(i - ins.dep2) & (kRing - 1)]);
+    }
+
+    // ---------------- issue & execute ----------------
+    std::uint64_t issue_time = 0;
+    std::uint64_t complete_time = 0;
+    switch (ins.op) {
+      case OpClass::kIntAlu:
+      case OpClass::kBranch: {
+        issue_time = issue_bw.claim(ialu.acquire(ready));
+        complete_time = issue_time + static_cast<std::uint64_t>(lat_.int_alu);
+        break;
+      }
+      case OpClass::kIntMult: {
+        issue_time = issue_bw.claim(imult.acquire(ready));
+        complete_time = issue_time + static_cast<std::uint64_t>(lat_.int_mult);
+        break;
+      }
+      case OpClass::kFpAlu: {
+        issue_time = issue_bw.claim(fpalu.acquire(ready));
+        complete_time = issue_time + static_cast<std::uint64_t>(lat_.fp_alu);
+        break;
+      }
+      case OpClass::kFpMult: {
+        issue_time = issue_bw.claim(fpmult.acquire(ready));
+        complete_time = issue_time + static_cast<std::uint64_t>(lat_.fp_mult);
+        break;
+      }
+      case OpClass::kLoad: {
+        issue_time = issue_bw.claim(memport.acquire(ready));
+        complete_time = issue_time + static_cast<std::uint64_t>(lat_.agen) +
+                        static_cast<std::uint64_t>(
+                            data_access_latency(ins.mem_addr));
+        break;
+      }
+      case OpClass::kStore: {
+        issue_time = issue_bw.claim(memport.acquire(ready));
+        // Stores retire once the address is generated; the write drains in
+        // the background but still updates the cache state now.
+        data_access_latency(ins.mem_addr);
+        complete_time = issue_time + static_cast<std::uint64_t>(lat_.agen);
+        break;
+      }
+    }
+
+    // ---------------- branch resolution ----------------
+    if (ins.op == OpClass::kBranch) {
+      ++stats.branch_count;
+      const bool predicted = predictor_->predict_and_update(ins.pc, ins.taken);
+      if (predicted != ins.taken) {
+        ++stats.mispredicts;
+        std::uint64_t penalty =
+            static_cast<std::uint64_t>(lat_.mispredict_redirect);
+        if (config_.issue_wrong) {
+          // Wrong-path issue keeps the front end running: the machine
+          // resumes one cycle earlier, but the wrong path touches the
+          // instruction cache (possible pollution, possible prefetch).
+          penalty = penalty > 1 ? penalty - 1 : 0;
+          const std::uint64_t wrong_pc = ins.taken ? ins.pc + 4 : ins.target;
+          for (int w = 0; w < 2; ++w) {
+            l1i_.access(wrong_pc +
+                        static_cast<std::uint64_t>(w * config_.l1i_line_b));
+          }
+        }
+        fetch_ready = std::max(fetch_ready, complete_time + penalty);
+        last_fetch_line = ~0ULL;
+        fetched_in_group = 0;
+      } else if (ins.taken) {
+        // Correctly predicted taken branch still ends the fetch group.
+        last_fetch_line = ~0ULL;
+        fetched_in_group = 0;
+        fetch_ready = std::max(fetch_ready, fetch_time + 1);
+      }
+    }
+
+    // ---------------- commit ----------------
+    const std::uint64_t commit_time =
+        commit_bw.claim(std::max(complete_time + 1, prev_commit));
+    prev_commit = commit_time;
+    complete_ring[i & (kRing - 1)] = complete_time;
+    commit_ring[i & (kRing - 1)] = commit_time;
+    if (is_mem) {
+      mem_commit_ring[mem_op_count & (kRing - 1)] = commit_time;
+      ++mem_op_count;
+    }
+  }
+
+  SimResult result;
+  result.cycles = prev_commit;
+  stats.instructions = n;
+  stats.cycles = prev_commit;
+  stats.ipc = prev_commit > 0 ? static_cast<double>(n) /
+                                    static_cast<double>(prev_commit)
+                              : 0.0;
+  stats.l1d_miss_rate = l1d_.miss_rate();
+  stats.l1i_miss_rate = l1i_.miss_rate();
+  stats.l2_miss_rate = l2_.miss_rate();
+  stats.l3_miss_rate = config_.has_l3() ? l3_.miss_rate() : 0.0;
+  stats.branch_mispredict_rate =
+      stats.branch_count > 0 ? static_cast<double>(stats.mispredicts) /
+                                   static_cast<double>(stats.branch_count)
+                             : 0.0;
+  stats.itlb_miss_rate =
+      itlb_.accesses() > 0 ? static_cast<double>(itlb_.misses()) /
+                                 static_cast<double>(itlb_.accesses())
+                           : 0.0;
+  stats.dtlb_miss_rate =
+      dtlb_.accesses() > 0 ? static_cast<double>(dtlb_.misses()) /
+                                 static_cast<double>(dtlb_.accesses())
+                           : 0.0;
+  result.stats = stats;
+  return result;
+}
+
+SimResult simulate(const ProcessorConfig& config, const Trace& trace) {
+  OutOfOrderCore core(config);
+  return core.run(trace.span());
+}
+
+}  // namespace dsml::sim

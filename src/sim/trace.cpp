@@ -1,0 +1,18 @@
+#include "sim/trace.hpp"
+
+namespace dsml::sim {
+
+const char* to_string(OpClass op) noexcept {
+  switch (op) {
+    case OpClass::kIntAlu: return "ialu";
+    case OpClass::kIntMult: return "imult";
+    case OpClass::kFpAlu: return "fpalu";
+    case OpClass::kFpMult: return "fpmult";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kBranch: return "branch";
+  }
+  return "?";
+}
+
+}  // namespace dsml::sim

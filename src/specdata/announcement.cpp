@@ -1,0 +1,159 @@
+#include "specdata/announcement.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "specdata/spec_metric.hpp"
+
+namespace dsml::specdata {
+
+std::string RatingTarget::name() const {
+  switch (kind) {
+    case Kind::kIntRate: return "specint_rate";
+    case Kind::kFpRate: return "specfp_rate";
+    case Kind::kIntApp: return "ratio:" + specint2000_apps().at(app_index).name;
+    case Kind::kFpApp: return "ratio:" + specfp2000_apps().at(app_index).name;
+  }
+  return "?";
+}
+
+double RatingTarget::value(const Announcement& record) const {
+  switch (kind) {
+    case Kind::kIntRate:
+      return record.spec_rating;
+    case Kind::kFpRate:
+      return record.spec_fp_rating;
+    case Kind::kIntApp: {
+      DSML_REQUIRE(app_index < record.int_app_runtimes.size(),
+                   "RatingTarget: int app index out of range");
+      return spec_ratio(specint2000_apps()[app_index].reference_seconds,
+                        record.int_app_runtimes[app_index]);
+    }
+    case Kind::kFpApp: {
+      DSML_REQUIRE(app_index < record.fp_app_runtimes.size(),
+                   "RatingTarget: fp app index out of range");
+      return spec_ratio(specfp2000_apps()[app_index].reference_seconds,
+                        record.fp_app_runtimes[app_index]);
+    }
+  }
+  DSML_ASSERT(false);
+}
+
+const char* to_string(Family family) noexcept {
+  switch (family) {
+    case Family::kXeon: return "Xeon";
+    case Family::kPentium4: return "Pentium 4";
+    case Family::kPentiumD: return "Pentium D";
+    case Family::kOpteron: return "Opteron";
+    case Family::kOpteron2: return "Opteron 2";
+    case Family::kOpteron4: return "Opteron 4";
+    case Family::kOpteron8: return "Opteron 8";
+  }
+  return "?";
+}
+
+std::vector<Family> all_families() {
+  return {Family::kXeon,     Family::kPentium4, Family::kPentiumD,
+          Family::kOpteron,  Family::kOpteron2, Family::kOpteron4,
+          Family::kOpteron8};
+}
+
+int family_chip_count(Family family) noexcept {
+  switch (family) {
+    case Family::kOpteron2: return 2;
+    case Family::kOpteron4: return 4;
+    case Family::kOpteron8: return 8;
+    default: return 1;
+  }
+}
+
+data::Dataset to_dataset(const std::vector<Announcement>& records,
+                         const RatingTarget& target) {
+  DSML_REQUIRE(!records.empty(), "to_dataset: no records");
+  const std::size_t n = records.size();
+
+  auto numeric = [&](const char* name, auto getter) {
+    std::vector<double> v;
+    v.reserve(n);
+    for (const auto& r : records) v.push_back(static_cast<double>(getter(r)));
+    return data::Column::numeric(name, std::move(v));
+  };
+  auto flag = [&](const char* name, auto getter) {
+    std::vector<bool> v;
+    v.reserve(n);
+    for (const auto& r : records) v.push_back(getter(r));
+    return data::Column::flag(name, std::move(v));
+  };
+  auto categorical = [&](const char* name, auto getter) {
+    std::vector<std::string> v;
+    v.reserve(n);
+    for (const auto& r : records) v.push_back(getter(r));
+    return data::Column::categorical(name, std::move(v));
+  };
+
+  data::Dataset ds;
+  ds.add_feature(categorical("company", [](auto& r) { return r.company; }));
+  ds.add_feature(
+      categorical("system_name", [](auto& r) { return r.system_name; }));
+  ds.add_feature(categorical("processor_model",
+                             [](auto& r) { return r.processor_model; }));
+  ds.add_feature(numeric("bus_frequency_mhz",
+                         [](auto& r) { return r.bus_frequency_mhz; }));
+  ds.add_feature(numeric("processor_speed_mhz",
+                         [](auto& r) { return r.processor_speed_mhz; }));
+  ds.add_feature(flag("fpu_integrated", [](auto& r) { return r.fpu_integrated; }));
+  ds.add_feature(numeric("total_cores", [](auto& r) { return r.total_cores; }));
+  ds.add_feature(numeric("total_chips", [](auto& r) { return r.total_chips; }));
+  ds.add_feature(
+      numeric("cores_per_chip", [](auto& r) { return r.cores_per_chip; }));
+  ds.add_feature(flag("smt", [](auto& r) { return r.smt; }));
+  ds.add_feature(flag("parallel", [](auto& r) { return r.parallel; }));
+  ds.add_feature(numeric("l1i_size_kb", [](auto& r) { return r.l1i_size_kb; }));
+  ds.add_feature(numeric("l1d_size_kb", [](auto& r) { return r.l1d_size_kb; }));
+  ds.add_feature(flag("l1_per_core", [](auto& r) { return r.l1_per_core; }));
+  ds.add_feature(flag("l1_shared", [](auto& r) { return r.l1_shared; }));
+  ds.add_feature(numeric("l2_size_kb", [](auto& r) { return r.l2_size_kb; }));
+  ds.add_feature(flag("l2_on_chip", [](auto& r) { return r.l2_on_chip; }));
+  ds.add_feature(flag("l2_shared", [](auto& r) { return r.l2_shared; }));
+  ds.add_feature(flag("l2_unified", [](auto& r) { return r.l2_unified; }));
+  ds.add_feature(numeric("l3_size_kb", [](auto& r) { return r.l3_size_kb; }));
+  ds.add_feature(flag("l3_on_chip", [](auto& r) { return r.l3_on_chip; }));
+  ds.add_feature(flag("l3_per_core", [](auto& r) { return r.l3_per_core; }));
+  ds.add_feature(flag("l3_shared", [](auto& r) { return r.l3_shared; }));
+  ds.add_feature(flag("l3_unified", [](auto& r) { return r.l3_unified; }));
+  ds.add_feature(numeric("l4_size_kb", [](auto& r) { return r.l4_size_kb; }));
+  ds.add_feature(
+      numeric("l4_shared_count", [](auto& r) { return r.l4_shared_count; }));
+  ds.add_feature(flag("l4_on_chip", [](auto& r) { return r.l4_on_chip; }));
+  ds.add_feature(
+      numeric("memory_size_gb", [](auto& r) { return r.memory_size_gb; }));
+  ds.add_feature(numeric("memory_frequency_mhz",
+                         [](auto& r) { return r.memory_frequency_mhz; }));
+  ds.add_feature(numeric("hdd_size_gb", [](auto& r) { return r.hdd_size_gb; }));
+  ds.add_feature(numeric("hdd_rpm", [](auto& r) { return r.hdd_rpm; }));
+  ds.add_feature(categorical("hdd_type", [](auto& r) { return r.hdd_type; }));
+  ds.add_feature(categorical("extra_components",
+                             [](auto& r) { return r.extra_components; }));
+
+  std::vector<double> target_values;
+  target_values.reserve(n);
+  for (const auto& r : records) target_values.push_back(target.value(r));
+  ds.set_target(target.name(), std::move(target_values));
+  return ds;
+}
+
+std::pair<data::Dataset, data::Dataset> chronological_split(
+    const std::vector<Announcement>& records, int train_until,
+    const RatingTarget& target) {
+  const data::Dataset all = to_dataset(records, target);
+  std::vector<std::size_t> train_rows;
+  std::vector<std::size_t> test_rows;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    (records[i].year <= train_until ? train_rows : test_rows).push_back(i);
+  }
+  DSML_REQUIRE(!train_rows.empty() && !test_rows.empty(),
+               "chronological_split: a split side is empty");
+  return {all.select_rows(train_rows), all.select_rows(test_rows)};
+}
+
+}  // namespace dsml::specdata

@@ -1,0 +1,122 @@
+// SPEC announcement records: the 32 system parameters each published result
+// reports (paper §4.1), plus the announcement year and the published rating.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dsml::specdata {
+
+/// Processor families the paper analyses.
+enum class Family : std::uint8_t {
+  kXeon,
+  kPentium4,
+  kPentiumD,
+  kOpteron,    // single processor
+  kOpteron2,   // 2-way SMP
+  kOpteron4,   // 4-way SMP
+  kOpteron8,   // 8-way SMP
+};
+
+const char* to_string(Family family) noexcept;
+std::vector<Family> all_families();
+
+/// Number of processors (chips) in systems of a family.
+int family_chip_count(Family family) noexcept;
+
+/// One published SPEC result. Field names follow the paper's §4.1 inventory
+/// of "32 system parameters".
+struct Announcement {
+  int year = 2005;
+  Family family = Family::kXeon;
+
+  // identity
+  std::string company;
+  std::string system_name;
+  std::string processor_model;
+
+  // processor & platform
+  double bus_frequency_mhz = 800;
+  double processor_speed_mhz = 3000;
+  bool fpu_integrated = true;
+  int total_cores = 1;
+  int total_chips = 1;
+  int cores_per_chip = 1;
+  bool smt = false;
+  bool parallel = false;
+
+  // cache hierarchy
+  double l1i_size_kb = 12;
+  double l1d_size_kb = 16;
+  bool l1_per_core = true;
+  bool l1_shared = false;
+  double l2_size_kb = 1024;
+  bool l2_on_chip = true;
+  bool l2_shared = false;
+  bool l2_unified = true;
+  double l3_size_kb = 0;
+  bool l3_on_chip = false;
+  bool l3_per_core = false;
+  bool l3_shared = false;
+  bool l3_unified = false;
+  double l4_size_kb = 0;
+  int l4_shared_count = 0;
+  bool l4_on_chip = false;
+
+  // memory & storage
+  double memory_size_gb = 2;
+  double memory_frequency_mhz = 400;
+  double hdd_size_gb = 73;
+  double hdd_rpm = 10000;
+  std::string hdd_type = "SCSI";
+  std::string extra_components = "none";
+
+  // published results: SPECint2000 rating (the paper's target), the
+  // SPECfp2000 rating, and the per-application runtimes both are computed
+  // from (the announcements publish these too — §4.1).
+  double spec_rating = 0.0;
+  double spec_fp_rating = 0.0;
+  std::vector<double> int_app_runtimes;  ///< seconds, aligned with specint2000_apps()
+  std::vector<double> fp_app_runtimes;   ///< seconds, aligned with specfp2000_apps()
+};
+
+/// What a chronological model predicts. The paper presents SPECint2000 rate
+/// results and notes that individual applications "can also be accurately
+/// estimated" (omitted for space); both are supported here.
+struct RatingTarget {
+  enum class Kind { kIntRate, kFpRate, kIntApp, kFpApp };
+  Kind kind = Kind::kIntRate;
+  std::size_t app_index = 0;  ///< for kIntApp / kFpApp
+
+  static RatingTarget int_rate() { return {}; }
+  static RatingTarget fp_rate() { return {Kind::kFpRate, 0}; }
+  static RatingTarget int_app(std::size_t index) {
+    return {Kind::kIntApp, index};
+  }
+  static RatingTarget fp_app(std::size_t index) {
+    return {Kind::kFpApp, index};
+  }
+
+  /// Human-readable target name ("specint_rate", "ratio:181.mcf", ...).
+  std::string name() const;
+  /// The target value for one record (app targets are SPEC ratios).
+  double value(const Announcement& record) const;
+};
+
+/// Build the modelling dataset: 32 feature columns (typed as in §3.4 —
+/// numerics, flags, categoricals) plus the requested target (SPECint rate by
+/// default).
+data::Dataset to_dataset(const std::vector<Announcement>& records,
+                         const RatingTarget& target = RatingTarget::int_rate());
+
+/// Split records by announcement year: (train = records with year <=
+/// `train_until`, test = the rest). The returned datasets share level
+/// dictionaries so encoders transfer.
+std::pair<data::Dataset, data::Dataset> chronological_split(
+    const std::vector<Announcement>& records, int train_until = 2005,
+    const RatingTarget& target = RatingTarget::int_rate());
+
+}  // namespace dsml::specdata

@@ -1,0 +1,352 @@
+#include "specdata/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "specdata/spec_metric.hpp"
+
+namespace dsml::specdata {
+
+namespace {
+
+/// One processor SKU on the market.
+struct ProcessorSku {
+  const char* model;
+  double speed_mhz;
+  double l2_kb;
+  double l3_kb;
+  int year_intro;      // first year the SKU can be announced
+  bool smt;
+  int cores_per_chip;
+  double bus_mhz;
+};
+
+/// Family market description + hidden performance-function coefficients.
+struct FamilyMarket {
+  std::vector<ProcessorSku> skus;
+  double base_rating;      // rating of the reference SKU configuration
+  double ref_speed_mhz;
+  double alpha_speed;      // perf ~ (speed/ref)^alpha
+  double beta_l2;          // per log2(l2/l2_ref)
+  double l2_ref_kb;
+  double beta_memfreq;     // per log2(memfreq/400)
+  double beta_memsize;     // per log2(mem_gb/4)
+  double beta_bus;         // per log2(bus/800)
+  double beta_smt;         // multiplicative bonus when SMT on
+  double chips_exponent;   // rate ~ chips^gamma (SMP families)
+  double cores_exponent;   // rate ~ cores_per_chip^gamma
+  double noise_sigma;      // lognormal measurement/platform noise
+  std::vector<double> memfreq_2005;
+  std::vector<double> memfreq_2006;
+};
+
+FamilyMarket market_for(Family family) {
+  FamilyMarket m;
+  switch (family) {
+    case Family::kXeon:
+      m.skus = {
+          {"Xeon 2.80", 2800, 1024, 0, 2005, true, 1, 800},
+          {"Xeon 3.00", 3000, 2048, 0, 2005, true, 1, 800},
+          {"Xeon 3.20", 3200, 1024, 0, 2005, true, 1, 800},
+          {"Xeon 3.40", 3400, 2048, 0, 2005, true, 1, 800},
+          {"Xeon 3.60", 3600, 2048, 0, 2005, true, 1, 800},
+          {"Xeon 3.80", 3800, 2048, 0, 2006, true, 1, 800},
+          {"Xeon 5060", 3200, 2048, 0, 2006, true, 2, 1066},
+          {"Xeon 5080", 3730, 2048, 0, 2006, true, 2, 1066},
+      };
+      m.base_rating = 1400;
+      m.ref_speed_mhz = 3000;
+      m.alpha_speed = 0.80;
+      m.beta_l2 = 0.035;
+      m.l2_ref_kb = 1024;
+      m.beta_memfreq = 0.030;
+      m.beta_memsize = 0.006;
+      m.beta_bus = 0.020;
+      m.beta_smt = 0.010;
+      m.chips_exponent = 0.0;
+      m.cores_exponent = 0.04;  // single-thread rating barely moves
+      m.noise_sigma = 0.020;
+      m.memfreq_2005 = {266, 333, 400};
+      m.memfreq_2006 = {400, 533, 667};
+      break;
+    case Family::kPentium4:
+      // The P4 result set spans Willamette-era 1.4 GHz parts through 3.8 GHz
+      // Prescott — the widest spread in the paper (range 3.72).
+      m.skus = {
+          {"Pentium 4 1.4", 1400, 256, 0, 2005, false, 1, 400},
+          {"Pentium 4 1.8", 1800, 256, 0, 2005, false, 1, 400},
+          {"Pentium 4 2.4", 2400, 512, 0, 2005, false, 1, 533},
+          {"Pentium 4 2.8", 2800, 512, 0, 2005, true, 1, 533},
+          {"Pentium 4 3.0", 3000, 1024, 0, 2005, true, 1, 800},
+          {"Pentium 4 3.2", 3200, 1024, 0, 2005, true, 1, 800},
+          {"Pentium 4 3.4", 3400, 1024, 0, 2005, true, 1, 800},
+          {"Pentium 4 3.6", 3600, 2048, 0, 2005, true, 1, 800},
+          {"Pentium 4 3.8", 3800, 2048, 0, 2006, true, 1, 800},
+          {"Pentium 4 661", 3600, 2048, 0, 2006, true, 1, 800},
+      };
+      m.base_rating = 1100;
+      m.ref_speed_mhz = 2800;
+      m.alpha_speed = 1.00;
+      m.beta_l2 = 0.050;
+      m.l2_ref_kb = 256;
+      m.beta_memfreq = 0.030;
+      m.beta_memsize = 0.004;
+      m.beta_bus = 0.030;
+      m.beta_smt = 0.012;
+      m.chips_exponent = 0.0;
+      m.cores_exponent = 0.0;
+      m.noise_sigma = 0.018;
+      m.memfreq_2005 = {266, 333, 400};
+      m.memfreq_2006 = {333, 400, 533};
+      break;
+    case Family::kPentiumD:
+      // Pentium D shipped mid-2005; barely two model years of similar parts
+      // (the paper notes all models predict it about equally well).
+      m.skus = {
+          {"Pentium D 820", 2800, 2048, 0, 2005, false, 2, 800},
+          {"Pentium D 830", 3000, 2048, 0, 2005, false, 2, 800},
+          {"Pentium D 840", 3200, 2048, 0, 2005, false, 2, 800},
+          {"Pentium D 940", 3200, 4096, 0, 2005, false, 2, 800},
+          {"Pentium D 950", 3400, 4096, 0, 2006, false, 2, 800},
+          {"Pentium D 960", 3600, 4096, 0, 2006, false, 2, 800},
+      };
+      m.base_rating = 1250;
+      m.ref_speed_mhz = 3000;
+      m.alpha_speed = 0.85;
+      m.beta_l2 = 0.040;
+      m.l2_ref_kb = 2048;
+      m.beta_memfreq = 0.030;
+      m.beta_memsize = 0.005;
+      m.beta_bus = 0.0;
+      m.beta_smt = 0.0;
+      m.chips_exponent = 0.0;
+      m.cores_exponent = 0.03;
+      m.noise_sigma = 0.016;
+      m.memfreq_2005 = {400, 533};
+      m.memfreq_2006 = {400, 533, 667};
+      break;
+    case Family::kOpteron:
+    case Family::kOpteron2:
+    case Family::kOpteron4:
+    case Family::kOpteron8:
+      m.skus = {
+          {"Opteron 146", 2000, 1024, 0, 2005, false, 1, 800},
+          {"Opteron 148", 2200, 1024, 0, 2005, false, 1, 800},
+          {"Opteron 150", 2400, 1024, 0, 2005, false, 1, 800},
+          {"Opteron 152", 2600, 1024, 0, 2005, false, 1, 1000},
+          {"Opteron 154", 2800, 1024, 0, 2006, false, 1, 1000},
+          {"Opteron 175", 2200, 1024, 0, 2005, false, 2, 1000},
+          {"Opteron 180", 2400, 1024, 0, 2006, false, 2, 1000},
+          {"Opteron 185", 2600, 1024, 0, 2006, false, 2, 1000},
+      };
+      m.base_rating = 1300;
+      m.ref_speed_mhz = 2200;
+      m.alpha_speed = 0.75;
+      m.beta_l2 = 0.030;
+      m.l2_ref_kb = 1024;
+      m.beta_memfreq = 0.040;
+      m.beta_memsize = 0.008;
+      m.beta_bus = 0.015;
+      m.beta_smt = 0.0;
+      m.chips_exponent = 0.0;   // rating per family is per fixed chip count
+      m.cores_exponent = 0.05;
+      m.noise_sigma = 0.020;
+      m.memfreq_2005 = {333, 400};
+      m.memfreq_2006 = {400, 533, 667};
+      // SMP families: more platform diversity, noisier integration.
+      if (family == Family::kOpteron2) {
+        m.noise_sigma = 0.024;
+        m.beta_memfreq = 0.055;
+        m.cores_exponent = 0.10;
+      } else if (family == Family::kOpteron4) {
+        m.noise_sigma = 0.026;
+        m.beta_memfreq = 0.060;
+        m.beta_memsize = 0.012;
+        m.cores_exponent = 0.12;
+      } else if (family == Family::kOpteron8) {
+        m.noise_sigma = 0.030;
+        m.beta_memfreq = 0.060;
+        m.beta_memsize = 0.014;
+        m.cores_exponent = 0.12;
+      }
+      break;
+  }
+  return m;
+}
+
+const std::vector<const char*>& vendors() {
+  static const std::vector<const char*> v = {
+      "Dell", "HP", "IBM", "Fujitsu-Siemens", "Sun", "Supermicro", "ASUS"};
+  return v;
+}
+
+// Floating-point performance relative to integer: fp codes stream more data,
+// so they lean harder on memory frequency and L2; the Opteron's on-die
+// memory controller gives it a relative fp edge over the NetBurst parts.
+double fp_relative_factor(Family family, const Announcement& r) {
+  double factor = 1.0;
+  switch (family) {
+    case Family::kXeon: factor = 0.95; break;
+    case Family::kPentium4: factor = 0.85; break;
+    case Family::kPentiumD: factor = 0.90; break;
+    default: factor = 1.10; break;  // Opteron families
+  }
+  factor *= 1.0 + 0.035 * std::log2(r.memory_frequency_mhz / 400.0);
+  factor *= 1.0 + 0.015 * std::log2(std::max(r.l2_size_kb, 1.0) / 1024.0);
+  return factor;
+}
+
+double expected_rating(const FamilyMarket& m, const Announcement& r) {
+  double perf = m.base_rating;
+  perf *= std::pow(r.processor_speed_mhz / m.ref_speed_mhz, m.alpha_speed);
+  perf *= 1.0 + m.beta_l2 * std::log2(std::max(r.l2_size_kb, 1.0) / m.l2_ref_kb);
+  perf *= 1.0 + m.beta_memfreq * std::log2(r.memory_frequency_mhz / 400.0);
+  perf *= 1.0 + m.beta_memsize * std::log2(std::max(r.memory_size_gb, 0.5) / 4.0);
+  if (m.beta_bus != 0.0) {
+    perf *= 1.0 + m.beta_bus * std::log2(r.bus_frequency_mhz / 800.0);
+  }
+  if (r.smt) perf *= 1.0 + m.beta_smt;
+  if (r.l3_size_kb > 0) perf *= 1.02;
+  if (m.chips_exponent > 0.0 && r.total_chips > 1) {
+    perf *= std::pow(static_cast<double>(r.total_chips), m.chips_exponent);
+  }
+  if (r.cores_per_chip > 1) {
+    perf *= std::pow(static_cast<double>(r.cores_per_chip), m.cores_exponent);
+  }
+  return perf;
+}
+
+}  // namespace
+
+FamilyStats paper_family_stats(Family family) {
+  switch (family) {
+    case Family::kXeon: return {216, 1.34, 0.09};
+    case Family::kPentium4: return {66, 3.72, 0.34};
+    case Family::kPentiumD: return {71, 1.45, 0.10};
+    case Family::kOpteron: return {138, 1.40, 0.08};
+    case Family::kOpteron2: return {152, 1.58, 0.11};
+    case Family::kOpteron4: return {158, 1.70, 0.12};
+    case Family::kOpteron8: return {58, 1.68, 0.13};
+  }
+  return {};
+}
+
+double ground_truth_rating(const Announcement& record) {
+  return expected_rating(market_for(record.family), record);
+}
+
+std::vector<Announcement> generate_family(Family family,
+                                          const GeneratorOptions& options) {
+  DSML_REQUIRE(options.record_scale > 0.0,
+               "generate_family: record_scale must be positive");
+  const FamilyMarket market = market_for(family);
+  const FamilyStats stats = paper_family_stats(family);
+  const auto n = std::max<std::size_t>(
+      12, static_cast<std::size_t>(std::lround(
+              static_cast<double>(stats.records) * options.record_scale)));
+  Rng rng(options.seed ^ (0x1234ULL + static_cast<std::uint64_t>(family) * 77));
+
+  const int chips = family_chip_count(family);
+  std::vector<Announcement> records;
+  records.reserve(n);
+  const auto& apps = specint2000_apps();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Announcement r;
+    r.family = family;
+    // ~55% of announcements in the training year.
+    r.year = rng.chance(0.55) ? 2005 : 2006;
+
+    // Pick a SKU on the market that year; vendors keep announcing
+    // previous-year parts, so 2006 admits the full menu.
+    std::vector<const ProcessorSku*> available;
+    for (const auto& sku : market.skus) {
+      if (sku.year_intro <= r.year) available.push_back(&sku);
+    }
+    DSML_ASSERT(!available.empty());
+    // Later announcements skew toward newer/faster SKUs.
+    const ProcessorSku& sku = *available[static_cast<std::size_t>(
+        rng.below(available.size()))];
+
+    r.company = vendors()[static_cast<std::size_t>(rng.below(vendors().size()))];
+    r.system_name =
+        r.company + std::string(" server ") +
+        std::to_string(1000 + static_cast<int>(rng.below(8)) * 100 + chips);
+    r.processor_model = sku.model;
+    r.bus_frequency_mhz = sku.bus_mhz;
+    r.processor_speed_mhz = sku.speed_mhz;
+    r.fpu_integrated = true;
+    r.total_chips = chips;
+    r.cores_per_chip = sku.cores_per_chip;
+    r.total_cores = chips * sku.cores_per_chip;
+    r.smt = sku.smt;
+    r.parallel = chips > 1 || r.total_cores > 1;
+
+    const bool intel = family == Family::kXeon || family == Family::kPentium4 ||
+                       family == Family::kPentiumD;
+    r.l1i_size_kb = intel ? 12 : 64;  // trace cache (uops) vs K8 64KB
+    r.l1d_size_kb = intel ? 16 : 64;
+    r.l1_per_core = true;
+    r.l1_shared = false;
+    r.l2_size_kb = sku.l2_kb;
+    r.l2_on_chip = true;
+    r.l2_shared = sku.cores_per_chip > 1 && intel;
+    r.l2_unified = true;
+    r.l3_size_kb = sku.l3_kb;
+    r.l3_on_chip = sku.l3_kb > 0;
+    r.l3_shared = sku.l3_kb > 0;
+    r.l3_unified = sku.l3_kb > 0;
+
+    // Platform configuration menus with year drift.
+    const auto& freqs =
+        r.year == 2005 ? market.memfreq_2005 : market.memfreq_2006;
+    r.memory_frequency_mhz =
+        freqs[static_cast<std::size_t>(rng.below(freqs.size()))];
+    const double mem_steps[] = {1, 2, 4, 8, 16, 32};
+    // SMPs ship with more memory.
+    const std::size_t mem_lo = chips >= 4 ? 2 : 0;
+    r.memory_size_gb = mem_steps[mem_lo + static_cast<std::size_t>(rng.below(
+                                              6 - mem_lo))];
+    const double hdd_sizes[] = {36, 73, 146, 300};
+    r.hdd_size_gb =
+        hdd_sizes[static_cast<std::size_t>(rng.below(4))];
+    r.hdd_rpm = rng.chance(0.5) ? 10000 : 15000;
+    r.hdd_type = rng.chance(0.6) ? "SCSI" : (rng.chance(0.5) ? "SAS" : "SATA");
+    r.extra_components = rng.chance(0.8) ? "none" : "raid-controller";
+
+    // Published ratings: hidden function -> per-app runtimes -> SPEC metric.
+    const double perf = expected_rating(market, r) *
+                        rng.lognormal(0.0, market.noise_sigma);
+    r.int_app_runtimes.reserve(apps.size());
+    for (const auto& app : apps) {
+      // Per-app spread around the system's mean performance.
+      const double app_perf = perf * rng.lognormal(0.0, 0.01);
+      r.int_app_runtimes.push_back(100.0 * app.reference_seconds / app_perf);
+    }
+    r.spec_rating = spec_rating(apps, r.int_app_runtimes);
+
+    const auto& fp_apps = specfp2000_apps();
+    const double fp_perf = perf * fp_relative_factor(family, r) *
+                           rng.lognormal(0.0, market.noise_sigma * 0.5);
+    r.fp_app_runtimes.reserve(fp_apps.size());
+    for (const auto& app : fp_apps) {
+      const double app_perf = fp_perf * rng.lognormal(0.0, 0.012);
+      r.fp_app_runtimes.push_back(100.0 * app.reference_seconds / app_perf);
+    }
+    r.spec_fp_rating = spec_rating(fp_apps, r.fp_app_runtimes);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<Announcement> generate_all(const GeneratorOptions& options) {
+  std::vector<Announcement> all;
+  for (Family family : all_families()) {
+    auto part = generate_family(family, options);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+}  // namespace dsml::specdata

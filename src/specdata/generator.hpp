@@ -1,0 +1,52 @@
+// Synthetic SPEC announcement database (substitute for spec.org's results).
+//
+// The real database cannot be redistributed or fetched offline, so we model
+// the *market*: per processor family, a menu of processor models (speed, L2,
+// cores, SMT) with introduction years, platform menus (memory frequency and
+// size, bus, disks, vendors), and a hidden family-specific performance
+// function that turns a configuration into per-application runtimes — the
+// published rating is then computed with the real SPEC geometric-mean
+// metric. Records are split across announcement years 2005 and 2006 with
+// technology drift (newer models and faster memory appear in 2006), which is
+// what makes chronological prediction a genuine extrapolation task.
+//
+// Generators are calibrated against the statistics the paper publishes for
+// each family (records / range / variation, §4.1): Opteron 138/1.40/0.08,
+// Opteron-2 152/1.58/0.11, Opteron-4 158/1.70/0.12, Opteron-8 58/1.68/0.13,
+// Pentium D 71/1.45/0.10, Pentium 4 66/3.72/0.34, Xeon 216/1.34/0.09.
+#pragma once
+
+#include "common/rng.hpp"
+#include "specdata/announcement.hpp"
+
+namespace dsml::specdata {
+
+/// Published calibration targets for one family (from §4.1).
+struct FamilyStats {
+  std::size_t records = 0;
+  double range = 1.0;      ///< best rating / worst rating
+  double variation = 0.0;  ///< stddev / mean
+};
+
+/// The paper's Table-of-§4.1 statistics for a family.
+FamilyStats paper_family_stats(Family family);
+
+struct GeneratorOptions {
+  std::uint64_t seed = 20060101;
+  /// Scale the number of generated records (1.0 = the paper's counts).
+  double record_scale = 1.0;
+};
+
+/// Generate the announcement records for one family across years 2005–2006.
+std::vector<Announcement> generate_family(Family family,
+                                          const GeneratorOptions& options = {});
+
+/// Generate every family (paper's full working set).
+std::vector<Announcement> generate_all(const GeneratorOptions& options = {});
+
+/// The hidden ground-truth performance function (exposed for tests and
+/// ablations; the predictive models never see it). Returns the expected
+/// rating before measurement noise.
+double ground_truth_rating(const Announcement& record);
+
+}  // namespace dsml::specdata

@@ -1,0 +1,66 @@
+#include "specdata/spec_metric.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace dsml::specdata {
+
+const std::vector<SpecApp>& specint2000_apps() {
+  static const std::vector<SpecApp> apps = {
+      {"164.gzip", 1400}, {"175.vpr", 1400},     {"176.gcc", 1100},
+      {"181.mcf", 1800},  {"186.crafty", 1000},  {"197.parser", 1800},
+      {"252.eon", 1300},  {"253.perlbmk", 1800}, {"254.gap", 1100},
+      {"255.vortex", 1900}, {"256.bzip2", 1500}, {"300.twolf", 3000},
+  };
+  return apps;
+}
+
+const std::vector<SpecApp>& specfp2000_apps() {
+  static const std::vector<SpecApp> apps = {
+      {"168.wupwise", 1600}, {"171.swim", 3100},   {"172.mgrid", 1800},
+      {"173.applu", 2100},   {"177.mesa", 1400},   {"178.galgel", 2900},
+      {"179.art", 2600},     {"183.equake", 1300}, {"187.facerec", 1900},
+      {"188.ammp", 2200},    {"189.lucas", 2000},  {"191.fma3d", 2100},
+      {"200.sixtrack", 1100}, {"301.apsi", 2600},
+  };
+  return apps;
+}
+
+double spec_ratio(double reference_seconds, double measured_seconds) {
+  DSML_REQUIRE(reference_seconds > 0.0 && measured_seconds > 0.0,
+               "spec_ratio: times must be positive");
+  return 100.0 * reference_seconds / measured_seconds;
+}
+
+double spec_rating(std::span<const SpecApp> apps,
+                   std::span<const double> measured_seconds) {
+  DSML_REQUIRE(apps.size() == measured_seconds.size() && !apps.empty(),
+               "spec_rating: apps/time size mismatch");
+  std::vector<double> ratios;
+  ratios.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    ratios.push_back(spec_ratio(apps[i].reference_seconds,
+                                measured_seconds[i]));
+  }
+  return stats::geometric_mean(ratios);
+}
+
+double spec_rate_rating(std::span<const SpecApp> apps,
+                        std::span<const double> elapsed_seconds, int copies) {
+  DSML_REQUIRE(copies >= 1, "spec_rate_rating: copies must be >= 1");
+  DSML_REQUIRE(apps.size() == elapsed_seconds.size() && !apps.empty(),
+               "spec_rate_rating: apps/time size mismatch");
+  std::vector<double> ratios;
+  ratios.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    DSML_REQUIRE(elapsed_seconds[i] > 0.0,
+                 "spec_rate_rating: times must be positive");
+    // SPEC rate formula (scaled): copies * reference / elapsed * 1.16 is the
+    // historical constant-free form; we use the modern normalised variant.
+    ratios.push_back(static_cast<double>(copies) *
+                     apps[i].reference_seconds / elapsed_seconds[i]);
+  }
+  return stats::geometric_mean(ratios);
+}
+
+}  // namespace dsml::specdata

@@ -1,0 +1,42 @@
+// The SPEC CPU2000 rating metric (paper §4).
+//
+// SPECint2000 contains 12 integer applications (SPECfp2000 has 14). A vendor
+// runs each application, computes the ratio of SPEC's reference time to the
+// measured time (x100), and the rating is the geometric mean of the ratios.
+// The chronological experiments predict this rating, so we implement the
+// metric faithfully: reference times below are the published CPU2000
+// reference machine numbers (seconds on the Sun Ultra 5_10, 300 MHz).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dsml::specdata {
+
+struct SpecApp {
+  std::string name;
+  double reference_seconds;
+};
+
+/// The 12 SPECint2000 applications with reference runtimes.
+const std::vector<SpecApp>& specint2000_apps();
+
+/// The 14 SPECfp2000 applications with reference runtimes.
+const std::vector<SpecApp>& specfp2000_apps();
+
+/// Ratio for one application: 100 * reference / measured.
+double spec_ratio(double reference_seconds, double measured_seconds);
+
+/// A SPEC rating: geometric mean of per-application ratios.
+/// `measured_seconds` must align with `apps` and be positive.
+double spec_rating(std::span<const SpecApp> apps,
+                   std::span<const double> measured_seconds);
+
+/// SPECrate variant: throughput rating when `copies` concurrent copies of
+/// each application run; rating uses the rate reference formula
+/// (copies * reference / elapsed), geometric-mean aggregated.
+double spec_rate_rating(std::span<const SpecApp> apps,
+                        std::span<const double> elapsed_seconds, int copies);
+
+}  // namespace dsml::specdata

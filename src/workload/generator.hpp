@@ -1,0 +1,26 @@
+// Synthetic trace generation from an AppProfile.
+//
+// The generator builds a dynamic instruction stream with the statistical
+// structure the timing model cares about: a static code layout walked
+// through loops (so instruction-cache and branch-predictor state matter),
+// loop back-edges with geometric trip counts and biased data-dependent
+// branches (so predictor sophistication matters), stream/hot/cold memory
+// access classes (so cache geometry matters — cold loads form dependent
+// pointer-chasing chains as in mcf), and geometric register dependency
+// distances (so window size and width matter).
+//
+// Generation is deterministic in (profile, n, seed). The trace is segmented
+// across the profile's phases so that SimPoint-style phase detection has
+// real phase structure to find.
+#pragma once
+
+#include "sim/trace.hpp"
+#include "workload/profiles.hpp"
+
+namespace dsml::workload {
+
+/// Generate `n` instructions from `profile`. seed 0 uses profile.seed.
+sim::Trace generate_trace(const AppProfile& profile, std::size_t n,
+                          std::uint64_t seed = 0);
+
+}  // namespace dsml::workload

@@ -1,0 +1,220 @@
+#include "workload/profiles.hpp"
+
+#include "common/error.hpp"
+
+namespace dsml::workload {
+
+namespace {
+
+constexpr std::uint64_t kKB = 1024;
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+// Working-set tiers are sized to straddle the Table-1 cache menus:
+//   L1 menu 16/32/64 KB   → L1-scale tiers of 20–48 KB
+//   L2 menu 256/1024 KB   → L2-scale tiers of 384–768 KB
+//   L3 menu off / 8 MB    → L3-scale tiers of 1.5–3 MB
+// plus a memory-resident tail no cache can hold. The tier fractions set how
+// much each cache decision matters for the application, i.e. its
+// design-space range (§4.1).
+
+// applu: dense 5-point stencil solver. Overwhelmingly floating point, long
+// unit-stride sweeps over blocked arrays, highly predictable loop branches,
+// long dependence distances (software-pipelined inner loops). Compute
+// throughput dominates — the paper's narrowest range (1.62x).
+AppProfile make_applu() {
+  AppProfile p;
+  p.name = "applu";
+  p.static_blocks = 96;
+  p.code_bytes = 24 * kKB;
+  p.mean_block_len = 12.0;
+  p.mean_dep_distance = 14.0;
+  p.code_skew = 1.2;
+  p.seed = 1001;
+  Phase sweep;
+  sweep.mix = {0.18, 0.01, 0.28, 0.22, 0.20, 0.08, 0.03};
+  sweep.mem.stride_fraction = 0.84;
+  sweep.mem.stride_bytes = 8;
+  sweep.mem.stream_count = 4;
+  sweep.mem.stream_segment_bytes = 72 * kKB;
+  sweep.mem.levels = {{0.82, 24 * kKB}, {0.155, 512 * kKB},
+                      {0.02, 1536 * kKB}, {0.005, 6 * kMB}};
+  sweep.branch = {0.90, 0.95, 64};
+  sweep.weight = 0.7;
+  sweep.hot_blocks = 12;
+  Phase rhs;
+  rhs.mix = {0.22, 0.01, 0.30, 0.16, 0.19, 0.09, 0.03};
+  rhs.mem = sweep.mem;
+  rhs.mem.stride_fraction = 0.72;
+  rhs.mem.stream_segment_bytes = 80 * kKB;
+  rhs.branch = {0.88, 0.93, 48};
+  rhs.weight = 0.3;
+  rhs.hot_blocks = 10;
+  p.phases = {sweep, rhs};
+  return p;
+}
+
+// equake: FE earthquake simulation — sparse matrix-vector products: FP
+// streams plus indirect scattered reads a bit beyond L2 scale.
+AppProfile make_equake() {
+  AppProfile p;
+  p.name = "equake";
+  p.static_blocks = 128;
+  p.code_bytes = 32 * kKB;
+  p.mean_block_len = 9.0;
+  p.mean_dep_distance = 9.0;
+  p.code_skew = 1.4;
+  p.seed = 1002;
+  Phase smvp;
+  smvp.mix = {0.22, 0.01, 0.27, 0.13, 0.24, 0.07, 0.06};
+  smvp.mem.stride_fraction = 0.55;
+  smvp.mem.stride_bytes = 8;
+  smvp.mem.stream_count = 4;
+  smvp.mem.stream_segment_bytes = 96 * kKB;
+  smvp.mem.levels = {{0.57, 28 * kKB}, {0.25, 576 * kKB},
+                     {0.15, 1536 * kKB}, {0.03, 6 * kMB}};
+  smvp.branch = {0.82, 0.90, 40};
+  smvp.weight = 0.6;
+  smvp.hot_blocks = 14;
+  Phase update;
+  update.mix = {0.24, 0.02, 0.30, 0.10, 0.20, 0.10, 0.04};
+  update.mem = smvp.mem;
+  update.mem.stride_fraction = 0.65;
+  update.branch = {0.85, 0.92, 56};
+  update.weight = 0.4;
+  update.hot_blocks = 12;
+  p.phases = {smvp, update};
+  return p;
+}
+
+// gcc: the compiler. Large code footprint (instruction-cache pressure from
+// thousands of hot basic blocks), very branchy with poorly biased
+// data-dependent branches, pointer-rich data. Sensitive to nearly every
+// front-end and cache parameter (paper range 5.27x).
+AppProfile make_gcc() {
+  AppProfile p;
+  p.name = "gcc";
+  p.static_blocks = 8192;
+  p.code_bytes = 1536 * kKB;
+  p.mean_block_len = 5.0;
+  p.mean_dep_distance = 5.0;
+  p.code_skew = 2.4;
+  p.seed = 1003;
+  Phase parse;
+  parse.mix = {0.43, 0.01, 0.01, 0.00, 0.25, 0.12, 0.18};
+  parse.mem.stride_fraction = 0.18;
+  parse.mem.stride_bytes = 4;
+  parse.mem.stream_count = 2;
+  parse.mem.stream_segment_bytes = 48 * kKB;
+  parse.mem.levels = {{0.52, 28 * kKB}, {0.27, 576 * kKB},
+                      {0.17, 1792 * kKB}, {0.04, 6 * kMB}};
+  parse.branch = {0.45, 0.78, 8};
+  parse.weight = 0.4;
+  parse.hot_blocks = 2400;
+  Phase optimize;
+  optimize.mix = {0.46, 0.02, 0.01, 0.00, 0.26, 0.09, 0.16};
+  optimize.mem = parse.mem;
+  optimize.mem.stride_fraction = 0.12;
+  optimize.branch = {0.50, 0.75, 10};
+  optimize.weight = 0.35;
+  optimize.hot_blocks = 2800;
+  Phase emit;
+  emit.mix = {0.42, 0.01, 0.00, 0.00, 0.24, 0.16, 0.17};
+  emit.mem = parse.mem;
+  emit.mem.stride_fraction = 0.28;
+  emit.branch = {0.55, 0.80, 12};
+  emit.weight = 0.25;
+  emit.hot_blocks = 1800;
+  p.phases = {parse, optimize, emit};
+  return p;
+}
+
+// mesa: software 3-D rendering. FP with good locality in the rasteriser,
+// moderately predictable branches — mid-pack sensitivity (2.22x).
+AppProfile make_mesa() {
+  AppProfile p;
+  p.name = "mesa";
+  p.static_blocks = 2048;
+  p.code_bytes = 256 * kKB;
+  p.mean_block_len = 7.0;
+  p.mean_dep_distance = 7.0;
+  p.code_skew = 1.9;
+  p.seed = 1004;
+  Phase transform;
+  transform.mix = {0.26, 0.02, 0.24, 0.14, 0.20, 0.10, 0.04};
+  transform.mem.stride_fraction = 0.55;
+  transform.mem.stride_bytes = 8;
+  transform.mem.stream_count = 4;
+  transform.mem.stream_segment_bytes = 80 * kKB;
+  transform.mem.levels = {{0.58, 28 * kKB}, {0.26, 640 * kKB},
+                          {0.12, 1536 * kKB}, {0.04, 5 * kMB}};
+  transform.branch = {0.75, 0.88, 24};
+  transform.weight = 0.45;
+  transform.hot_blocks = 700;
+  Phase raster;
+  raster.mix = {0.32, 0.02, 0.18, 0.08, 0.22, 0.12, 0.06};
+  raster.mem = transform.mem;
+  raster.mem.stride_fraction = 0.45;
+  raster.mem.stride_bytes = 4;
+  raster.branch = {0.65, 0.82, 16};
+  raster.weight = 0.55;
+  raster.hot_blocks = 900;
+  p.phases = {transform, raster};
+  return p;
+}
+
+// mcf: network-simplex optimiser — the canonical pointer chaser. Small code,
+// dependent loads over working sets at every scale up to a memory-resident
+// tail, poorly biased data-dependent branches whose outcomes depend on the
+// loaded values. Memory behaviour dominates; the paper's widest range
+// (6.38x) because L2/L3 choices and the branch predictor interact with the
+// load chains.
+AppProfile make_mcf() {
+  AppProfile p;
+  p.name = "mcf";
+  p.static_blocks = 64;
+  p.code_bytes = 16 * kKB;
+  p.mean_block_len = 5.0;
+  p.mean_dep_distance = 3.0;
+  p.code_skew = 1.5;
+  p.seed = 1005;
+  Phase refresh;
+  refresh.mix = {0.38, 0.01, 0.00, 0.00, 0.33, 0.08, 0.20};
+  refresh.mem.stride_fraction = 0.06;
+  refresh.mem.stride_bytes = 4;
+  refresh.mem.stream_count = 2;
+  refresh.mem.stream_segment_bytes = 32 * kKB;
+  refresh.mem.levels = {{0.34, 24 * kKB}, {0.21, 640 * kKB},
+                        {0.42, 2 * kMB}, {0.03, 12 * kMB}};
+  refresh.branch = {0.30, 0.66, 6};
+  refresh.weight = 0.65;
+  refresh.hot_blocks = 18;
+  Phase price;
+  price.mix = {0.40, 0.02, 0.00, 0.00, 0.30, 0.09, 0.19};
+  price.mem = refresh.mem;
+  price.mem.levels = {{0.32, 24 * kKB}, {0.23, 768 * kKB},
+                      {0.42, 2 * kMB}, {0.03, 12 * kMB}};
+  price.branch = {0.35, 0.68, 8};
+  price.weight = 0.35;
+  price.hot_blocks = 14;
+  p.phases = {refresh, price};
+  return p;
+}
+
+}  // namespace
+
+std::vector<AppProfile> spec_profiles() {
+  return {make_applu(), make_equake(), make_gcc(), make_mesa(), make_mcf()};
+}
+
+AppProfile spec_profile(const std::string& name) {
+  for (auto& p : spec_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw InvalidArgument("spec_profile: unknown application '" + name + "'");
+}
+
+std::vector<std::string> spec_profile_names() {
+  return {"applu", "equake", "gcc", "mesa", "mcf"};
+}
+
+}  // namespace dsml::workload

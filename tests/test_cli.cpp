@@ -1,0 +1,156 @@
+#include "cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+namespace dsml::cli {
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+// The CLI tests use a throwaway cache dir and tiny sweeps so they stay fast.
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_dir_ = (std::filesystem::temp_directory_path() / "dsml_cli_cache")
+                     .string();
+    ::setenv("DSML_CACHE_DIR", cache_dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("DSML_CACHE_DIR");
+    std::filesystem::remove_all(cache_dir_);
+  }
+  std::vector<std::string> tiny_sweep_args() const {
+    return {"--full", "40000", "--interval", "4000", "--clusters", "2"};
+  }
+  std::string cache_dir_;
+};
+
+TEST_F(CliTest, NoArgumentsShowsUsageAndFails) {
+  const auto result = run_cli({});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpSucceeds) {
+  const auto result = run_cli({"help"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("commands:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  const auto result = run_cli({"frobnicate"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingOptionValueFails) {
+  const auto result = run_cli({"sweep", "--app"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("missing value"), std::string::npos);
+}
+
+TEST_F(CliTest, ListEnumeratesEverything) {
+  const auto result = run_cli({"list"});
+  EXPECT_EQ(result.exit_code, 0);
+  for (const char* expected : {"applu", "mcf", "xeon", "opteron8", "LR-B",
+                               "NN-E"}) {
+    EXPECT_NE(result.out.find(expected), std::string::npos) << expected;
+  }
+}
+
+TEST_F(CliTest, SweepRunsAndCaches) {
+  auto args = tiny_sweep_args();
+  args.insert(args.begin(), {"sweep", "--app", "applu"});
+  const auto first = run_cli(args);
+  EXPECT_EQ(first.exit_code, 0) << first.err;
+  EXPECT_NE(first.out.find("4608 configurations"), std::string::npos);
+  const auto second = run_cli(args);
+  EXPECT_NE(second.out.find("[cache]"), std::string::npos);
+}
+
+TEST_F(CliTest, SweepCsvExport) {
+  const std::string csv_path =
+      (std::filesystem::temp_directory_path() / "dsml_cli_sweep.csv").string();
+  auto args = tiny_sweep_args();
+  args.insert(args.begin(), {"sweep", "--app", "applu"});
+  args.insert(args.end(), {"--csv", csv_path});
+  const auto result = run_cli(args);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_TRUE(std::filesystem::exists(csv_path));
+  std::filesystem::remove(csv_path);
+}
+
+TEST_F(CliTest, SampledExperimentPrintsTable) {
+  auto args = tiny_sweep_args();
+  args.insert(args.begin(),
+              {"sampled", "--app", "applu", "--rates", "0.02", "--models",
+               "LR-B"});
+  const auto result = run_cli(args);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("LR-B"), std::string::npos);
+  EXPECT_NE(result.out.find("select @2%"), std::string::npos);
+}
+
+TEST_F(CliTest, ChronoExperimentRuns) {
+  const auto result =
+      run_cli({"chrono", "--family", "pd", "--models", "LR-E,LR-S"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("Pentium D"), std::string::npos);
+  EXPECT_NE(result.out.find("best:"), std::string::npos);
+}
+
+TEST_F(CliTest, ChronoFpTarget) {
+  const auto result = run_cli(
+      {"chrono", "--family", "xeon", "--target", "fp", "--models", "LR-E"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("specfp_rate"), std::string::npos);
+}
+
+TEST_F(CliTest, ChronoBadFamilyFails) {
+  const auto result = run_cli({"chrono", "--family", "alpha"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("unknown family"), std::string::npos);
+}
+
+TEST_F(CliTest, TrainThenPredictRoundTrip) {
+  const std::string model_path =
+      (std::filesystem::temp_directory_path() / "dsml_cli_model.dsml")
+          .string();
+  auto train_args = tiny_sweep_args();
+  train_args.insert(train_args.begin(),
+                    {"train", "--app", "applu", "--rate", "0.02", "--model",
+                     "LR-B", "--out", model_path});
+  const auto train_result = run_cli(train_args);
+  EXPECT_EQ(train_result.exit_code, 0) << train_result.err;
+  EXPECT_TRUE(std::filesystem::exists(model_path));
+
+  const auto predict_result =
+      run_cli({"predict", "--model", model_path, "--top", "3"});
+  EXPECT_EQ(predict_result.exit_code, 0) << predict_result.err;
+  EXPECT_NE(predict_result.out.find("rank"), std::string::npos);
+  EXPECT_NE(predict_result.out.find("LR-B"), std::string::npos);
+  std::filesystem::remove(model_path);
+}
+
+TEST_F(CliTest, PredictWithoutModelFails) {
+  const auto result = run_cli({"predict"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--model"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsml::cli

@@ -1,0 +1,108 @@
+#include "data/column.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsml::data {
+namespace {
+
+TEST(Column, NumericBasics) {
+  const Column c = Column::numeric("x", {1.0, 2.5, -3.0});
+  EXPECT_EQ(c.kind(), ColumnKind::kNumeric);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.numeric_at(1), 2.5);
+  EXPECT_EQ(c.label_at(2), "-3");
+}
+
+TEST(Column, NumericCodeAtThrows) {
+  const Column c = Column::numeric("x", {1.0});
+  EXPECT_THROW(c.code_at(0), InvalidArgument);
+}
+
+TEST(Column, FlagBasics) {
+  const Column c = Column::flag("f", {true, false, true});
+  EXPECT_EQ(c.kind(), ColumnKind::kFlag);
+  EXPECT_DOUBLE_EQ(c.numeric_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.numeric_at(1), 0.0);
+  EXPECT_EQ(c.label_at(0), "yes");
+  EXPECT_EQ(c.label_at(1), "no");
+  EXPECT_EQ(c.level_count(), 2u);
+}
+
+TEST(Column, CategoricalLevelsInAppearanceOrder) {
+  const Column c = Column::categorical("bp", {"b", "a", "b", "c"});
+  ASSERT_EQ(c.level_count(), 3u);
+  EXPECT_EQ(c.levels()[0], "b");
+  EXPECT_EQ(c.levels()[1], "a");
+  EXPECT_EQ(c.code_at(0), 0u);
+  EXPECT_EQ(c.code_at(1), 1u);
+  EXPECT_EQ(c.code_at(2), 0u);
+  EXPECT_EQ(c.label_at(3), "c");
+}
+
+TEST(Column, CategoricalWithExplicitLevels) {
+  const Column c = Column::categorical_with_levels(
+      "bp", {"perfect", "bimodal", "2-level"}, {"bimodal", "perfect"},
+      /*ordered=*/true);
+  EXPECT_TRUE(c.ordered());
+  EXPECT_EQ(c.code_at(0), 1u);
+  EXPECT_DOUBLE_EQ(c.numeric_at(0), 1.0);
+}
+
+TEST(Column, CategoricalUnknownValueThrows) {
+  EXPECT_THROW(
+      Column::categorical_with_levels("x", {"a"}, {"b"}),
+      InvalidArgument);
+}
+
+TEST(Column, IsConstant) {
+  EXPECT_TRUE(Column::numeric("x", {2.0, 2.0, 2.0}).is_constant());
+  EXPECT_FALSE(Column::numeric("x", {2.0, 3.0}).is_constant());
+  EXPECT_TRUE(Column::flag("f", {true, true}).is_constant());
+  EXPECT_FALSE(Column::categorical("c", {"a", "b"}).is_constant());
+  EXPECT_TRUE(Column::numeric("x", {}).is_constant());
+}
+
+TEST(Column, SelectPreservesKindAndLevels) {
+  const Column c = Column::categorical("c", {"a", "b", "c", "a"});
+  const std::vector<std::size_t> rows = {3, 1};
+  const Column s = c.select(rows);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.label_at(0), "a");
+  EXPECT_EQ(s.label_at(1), "b");
+  EXPECT_EQ(s.levels(), c.levels());
+}
+
+TEST(Column, SelectOutOfRangeThrows) {
+  const Column c = Column::numeric("x", {1.0});
+  const std::vector<std::size_t> rows = {1};
+  EXPECT_THROW(c.select(rows), InvalidArgument);
+}
+
+TEST(Column, AppendCompatible) {
+  Column a = Column::numeric("x", {1.0});
+  const Column b = Column::numeric("x", {2.0, 3.0});
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.numeric_at(2), 3.0);
+}
+
+TEST(Column, AppendIncompatibleThrows) {
+  Column a = Column::numeric("x", {1.0});
+  const Column b = Column::numeric("y", {2.0});
+  EXPECT_THROW(a.append(b), InvalidArgument);
+}
+
+TEST(Column, AppendDifferentLevelsThrows) {
+  Column a = Column::categorical("c", {"x"});
+  const Column b = Column::categorical("c", {"y"});
+  EXPECT_THROW(a.append(b), InvalidArgument);
+}
+
+TEST(ColumnKindNames, ToString) {
+  EXPECT_STREQ(to_string(ColumnKind::kNumeric), "numeric");
+  EXPECT_STREQ(to_string(ColumnKind::kFlag), "flag");
+  EXPECT_STREQ(to_string(ColumnKind::kCategorical), "categorical");
+}
+
+}  // namespace
+}  // namespace dsml::data

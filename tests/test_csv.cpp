@@ -1,0 +1,91 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace dsml::csv {
+namespace {
+
+TEST(CsvParse, HeaderAndRows) {
+  const Table t = parse("a,b\n1,2\n3,4\n");
+  ASSERT_EQ(t.header.size(), 2u);
+  EXPECT_EQ(t.header[0], "a");
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][1], "4");
+}
+
+TEST(CsvParse, QuotedFieldsWithCommas) {
+  const Table t = parse("name,value\n\"x,y\",3\n");
+  EXPECT_EQ(t.rows[0][0], "x,y");
+}
+
+TEST(CsvParse, EscapedQuotes) {
+  const Table t = parse("a\n\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(t.rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvParse, ToleratesCrLf) {
+  const Table t = parse("a,b\r\n1,2\r\n");
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(CsvParse, WidthMismatchThrows) {
+  EXPECT_THROW(parse("a,b\n1\n"), IoError);
+}
+
+TEST(CsvParse, EmptyThrows) {
+  EXPECT_THROW(parse(""), IoError);
+}
+
+TEST(CsvParse, SkipsBlankLines) {
+  const Table t = parse("a\n\n1\n\n2\n");
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(CsvColumnIndex, FindsAndThrows) {
+  const Table t = parse("alpha,beta\n1,2\n");
+  EXPECT_EQ(t.column_index("beta"), 1u);
+  EXPECT_THROW(t.column_index("gamma"), IoError);
+}
+
+TEST(CsvRoundTrip, PlainValues) {
+  Table t;
+  t.header = {"x", "y"};
+  t.rows = {{"1", "hello"}, {"2", "world"}};
+  const Table back = parse(to_string(t));
+  EXPECT_EQ(back.header, t.header);
+  EXPECT_EQ(back.rows, t.rows);
+}
+
+TEST(CsvRoundTrip, ValuesNeedingQuotes) {
+  Table t;
+  t.header = {"a"};
+  t.rows = {{"with,comma"}, {"with\"quote"}};
+  const Table back = parse(to_string(t));
+  EXPECT_EQ(back.rows, t.rows);
+}
+
+TEST(CsvFile, WriteCreatesDirectoriesAndReadsBack) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dsml_csv_test").string();
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/nested/file.csv";
+  Table t;
+  t.header = {"k", "v"};
+  t.rows = {{"key", "value"}};
+  write_file(path, t);
+  const Table back = read_file(path);
+  EXPECT_EQ(back.rows[0][1], "value");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvFile, MissingFileThrows) {
+  EXPECT_THROW(read_file("/nonexistent/definitely/missing.csv"), IoError);
+}
+
+}  // namespace
+}  // namespace dsml::csv

@@ -1,0 +1,179 @@
+#include "data/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dsml::data {
+namespace {
+
+Dataset make_mixed() {
+  Dataset ds;
+  ds.add_feature(Column::numeric("speed", {1000.0, 2000.0, 3000.0, 4000.0}));
+  ds.add_feature(Column::flag("smt", {false, true, false, true}));
+  ds.add_feature(
+      Column::categorical("vendor", {"amd", "intel", "sun", "amd"}));
+  ds.add_feature(Column::categorical_with_levels(
+      "bp", {"perfect", "bimodal", "2lev"},
+      {"perfect", "bimodal", "2lev", "bimodal"}, /*ordered=*/true));
+  ds.add_feature(Column::numeric("constant", {7.0, 7.0, 7.0, 7.0}));
+  ds.set_target("perf", {10.0, 20.0, 30.0, 40.0});
+  return ds;
+}
+
+TEST(Encoder, LinearModeDropsUnorderedCategoricals) {
+  Encoder enc;
+  EncoderOptions opt;
+  opt.mode = EncodingMode::kLinearRegression;
+  enc.fit(make_mixed(), opt);
+  const auto names = enc.feature_names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "vendor"), 0);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "speed"), 1);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "bp"), 1);  // ordered kept
+  EXPECT_EQ(std::count(names.begin(), names.end(), "smt"), 1);
+  // Dropped list mentions vendor and the constant column.
+  bool vendor_dropped = false;
+  bool constant_dropped = false;
+  for (const auto& d : enc.dropped()) {
+    vendor_dropped |= d.find("vendor") != std::string::npos;
+    constant_dropped |= d.find("constant") != std::string::npos;
+  }
+  EXPECT_TRUE(vendor_dropped);
+  EXPECT_TRUE(constant_dropped);
+}
+
+TEST(Encoder, NeuralModeOneHotsUnorderedCategoricals) {
+  Encoder enc;
+  EncoderOptions opt;
+  opt.mode = EncodingMode::kNeuralNetwork;
+  enc.fit(make_mixed(), opt);
+  const auto names = enc.feature_names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "vendor=amd"), 1);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "vendor=intel"), 1);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "vendor=sun"), 1);
+  // Ordered categoricals stay ordinal even in NN mode.
+  EXPECT_EQ(std::count(names.begin(), names.end(), "bp"), 1);
+}
+
+TEST(Encoder, ScalesInputsToUnitInterval) {
+  Encoder enc;
+  EncoderOptions opt;
+  opt.mode = EncodingMode::kNeuralNetwork;
+  const Dataset ds = make_mixed();
+  enc.fit(ds, opt);
+  const linalg::Matrix x = enc.encode(ds);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      EXPECT_GE(x(r, c), 0.0);
+      EXPECT_LE(x(r, c), 1.0);
+    }
+  }
+}
+
+TEST(Encoder, ScalingUsesTrainingRange) {
+  Dataset train;
+  train.add_feature(Column::numeric("x", {0.0, 10.0}));
+  train.set_target("y", {0.0, 1.0});
+  Encoder enc;
+  EncoderOptions opt;
+  enc.fit(train, opt);
+  Dataset test;
+  test.add_feature(Column::numeric("x", {20.0}));
+  const linalg::Matrix xt = enc.encode(test);
+  // Extrapolation beyond the training range is NOT clamped.
+  EXPECT_DOUBLE_EQ(xt(0, 0), 2.0);
+}
+
+TEST(Encoder, InterceptColumn) {
+  Encoder enc;
+  EncoderOptions opt;
+  opt.mode = EncodingMode::kLinearRegression;
+  opt.add_intercept = true;
+  const Dataset ds = make_mixed();
+  enc.fit(ds, opt);
+  const linalg::Matrix x = enc.encode(ds);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(x(r, 0), 1.0);
+  }
+  EXPECT_EQ(enc.feature_names().front(), "(intercept)");
+  EXPECT_EQ(enc.n_outputs(), x.cols());
+}
+
+TEST(Encoder, TargetScalingRoundTrip) {
+  Encoder enc;
+  EncoderOptions opt;
+  opt.scale_target = true;
+  const Dataset ds = make_mixed();
+  enc.fit(ds, opt);
+  const auto y = enc.encode_target(ds);
+  EXPECT_DOUBLE_EQ(y.front(), 0.0);
+  EXPECT_DOUBLE_EQ(y.back(), 1.0);
+  EXPECT_DOUBLE_EQ(enc.decode_target(y[1]), 20.0);
+  EXPECT_DOUBLE_EQ(enc.decode_target(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(enc.decode_target(1.0), 40.0);
+}
+
+TEST(Encoder, TargetUnscaledByDefault) {
+  Encoder enc;
+  EncoderOptions opt;
+  const Dataset ds = make_mixed();
+  enc.fit(ds, opt);
+  const auto y = enc.encode_target(ds);
+  EXPECT_DOUBLE_EQ(y[2], 30.0);
+  EXPECT_DOUBLE_EQ(enc.decode_target(123.0), 123.0);
+}
+
+TEST(Encoder, OneHotEncodesUnseenLevelAsAllZero) {
+  Dataset train;
+  train.add_feature(Column::categorical_with_levels(
+      "v", {"a", "b", "c"}, {"a", "b", "a", "b"}));
+  train.add_feature(Column::numeric("x", {1.0, 2.0, 3.0, 4.0}));
+  train.set_target("y", {1.0, 2.0, 3.0, 4.0});
+  Encoder enc;
+  EncoderOptions opt;
+  opt.mode = EncodingMode::kNeuralNetwork;
+  enc.fit(train, opt);
+  Dataset test;
+  test.add_feature(Column::categorical_with_levels("v", {"a", "b", "c"},
+                                                   {"c"}));
+  test.add_feature(Column::numeric("x", {2.0}));
+  const linalg::Matrix xt = enc.encode(test);
+  // The one-hot group spans levels a/b/c observed in the dictionary; only
+  // the matching level column is hot, and "c" matches its own column.
+  double group_sum = 0.0;
+  for (std::size_t c = 0; c + 1 < xt.cols(); ++c) group_sum += xt(0, c);
+  EXPECT_DOUBLE_EQ(group_sum, 1.0);
+}
+
+TEST(Encoder, UnfittedThrows) {
+  const Encoder enc;
+  Dataset ds;
+  ds.add_feature(Column::numeric("x", {1.0}));
+  EXPECT_THROW(enc.encode(ds), InvalidArgument);
+  EXPECT_THROW(enc.decode_target(1.0), InvalidArgument);
+}
+
+TEST(Encoder, AllDroppedThrows) {
+  Dataset ds;
+  ds.add_feature(Column::numeric("c", {1.0, 1.0}));
+  ds.set_target("y", {1.0, 2.0});
+  Encoder enc;
+  EncoderOptions opt;
+  EXPECT_THROW(enc.fit(ds, opt), InvalidArgument);
+}
+
+TEST(Encoder, ConstantColumnKeptWhenDisabled) {
+  Dataset ds;
+  ds.add_feature(Column::numeric("c", {1.0, 1.0}));
+  ds.set_target("y", {1.0, 2.0});
+  Encoder enc;
+  EncoderOptions opt;
+  opt.drop_constant = false;
+  enc.fit(ds, opt);
+  const linalg::Matrix x = enc.encode(ds);
+  // Degenerate range maps to 0.5.
+  EXPECT_DOUBLE_EQ(x(0, 0), 0.5);
+}
+
+}  // namespace
+}  // namespace dsml::data

@@ -1,0 +1,124 @@
+// End-to-end integration tests of the paper's two experiment pipelines at
+// reduced scale: trace synthesis → SimPoint → simulator sweep → surrogate
+// modelling → error measurement, and SPEC-database generation → year split →
+// chronological prediction.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "dse/chronological.hpp"
+#include "dse/sampled.hpp"
+#include "dse/sweep.hpp"
+#include "ml/metrics.hpp"
+
+namespace dsml {
+namespace {
+
+const dse::SweepResult& shared_sweep(const std::string& app) {
+  static std::map<std::string, dse::SweepResult> cache;
+  auto it = cache.find(app);
+  if (it == cache.end()) {
+    // Long enough for the multi-MB working-set tiers to warm (the cache-size
+    // levers that give mcf its wide range need reuse to materialise).
+    dse::SweepOptions opt;
+    opt.full_trace_instructions = 400000;
+    opt.interval_instructions = 40000;
+    opt.max_clusters = 3;
+    opt.use_cache = false;
+    it = cache.emplace(app, dse::run_design_space_sweep(app, opt)).first;
+  }
+  return it->second;
+}
+
+TEST(Integration, SampledDseNnBeatsLinearRegression) {
+  // The paper's central sampled-DSE claim (§4.2): a neural network trained
+  // on a small random sample predicts the whole space better than linear
+  // regression, because the cycle response is nonlinear in the parameters.
+  const data::Dataset full = dse::sweep_dataset(shared_sweep("mcf"));
+  dse::SampledDseOptions opt;
+  opt.sampling_rates = {0.03};
+  opt.model_names = {"LR-B", "NN-E"};
+  opt.zoo.nn_epoch_scale = 0.5;
+  const auto result = dse::run_sampled_dse(full, "mcf", opt);
+  const double nn = result.run("NN-E", 0.03).true_error;
+  const double lr = result.run("LR-B", 0.03).true_error;
+  EXPECT_LT(nn, lr);
+}
+
+TEST(Integration, SamplingMoreDataHelpsNn) {
+  const data::Dataset full = dse::sweep_dataset(shared_sweep("mcf"));
+  dse::SampledDseOptions opt;
+  opt.sampling_rates = {0.01, 0.05};
+  opt.model_names = {"NN-E"};
+  opt.zoo.nn_epoch_scale = 0.5;
+  const auto result = dse::run_sampled_dse(full, "mcf", opt);
+  // 5x the training data should not be substantially worse (the paper notes
+  // occasional non-monotonicity from unlucky samples, hence the margin).
+  EXPECT_LT(result.run("NN-E", 0.05).true_error,
+            result.run("NN-E", 0.01).true_error + 2.0);
+}
+
+TEST(Integration, NnPredictsUnsampledConfigsWithin10Percent) {
+  const data::Dataset full = dse::sweep_dataset(shared_sweep("applu"));
+  dse::SampledDseOptions opt;
+  opt.sampling_rates = {0.05};
+  opt.model_names = {"NN-E"};
+  const auto result = dse::run_sampled_dse(full, "applu", opt);
+  EXPECT_LT(result.run("NN-E", 0.05).true_error, 10.0);
+}
+
+TEST(Integration, DesignSpaceRangeOrderingMatchesPaper) {
+  // mcf (pointer chaser) must show a wider configuration range than applu
+  // (compute bound) — the §4.1 characterisation that motivates the study.
+  const auto& mcf = shared_sweep("mcf");
+  const auto& applu = shared_sweep("applu");
+  EXPECT_GT(stats::range_ratio(mcf.cycles), stats::range_ratio(applu.cycles));
+}
+
+TEST(Integration, ChronologicalLrBeatsNn) {
+  // §4.3: linear regression generalises across model years; networks
+  // overfit the training year.
+  dse::ChronologicalOptions opt;
+  opt.model_names = {"LR-E", "NN-E"};
+  opt.zoo.nn_epoch_scale = 0.5;
+  const auto result = dse::run_chronological(specdata::Family::kXeon, opt);
+  ASSERT_EQ(result.models.size(), 2u);
+  const double lr = result.models[0].error.mean;
+  const double nn = result.models[1].error.mean;
+  EXPECT_LT(lr, nn);
+  EXPECT_LT(lr, 4.0);
+}
+
+TEST(Integration, ProcessorSpeedDominatesImportance) {
+  // §4.4: processor speed is the dominant predictor for the Opteron models.
+  dse::ChronologicalOptions opt;
+  opt.model_names = {"LR-S", "NN-M"};
+  opt.zoo.nn_epoch_scale = 0.5;
+  const auto result = dse::run_chronological(specdata::Family::kOpteron, opt);
+  ASSERT_FALSE(result.lr_importance.empty());
+  EXPECT_EQ(result.lr_importance.front().name, "processor_speed_mhz");
+  ASSERT_FALSE(result.nn_importance.empty());
+  // For the NN the speed must rank among the top three factors.
+  bool in_top3 = false;
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, result.nn_importance.size());
+       ++i) {
+    in_top3 |= result.nn_importance[i].name == "processor_speed_mhz";
+  }
+  EXPECT_TRUE(in_top3);
+}
+
+TEST(Integration, SelectEstimateTracksBestModel) {
+  const data::Dataset full = dse::sweep_dataset(shared_sweep("applu"));
+  dse::SampledDseOptions opt;
+  opt.sampling_rates = {0.04};
+  opt.model_names = {"LR-B", "NN-S"};
+  opt.zoo.nn_epoch_scale = 0.5;
+  const auto result = dse::run_sampled_dse(full, "applu", opt);
+  ASSERT_EQ(result.select.size(), 1u);
+  // The selected model's true error should not exceed the worst candidate's.
+  double worst = 0.0;
+  for (const auto& run : result.runs) worst = std::max(worst, run.true_error);
+  EXPECT_LE(result.select[0].true_error, worst);
+}
+
+}  // namespace
+}  // namespace dsml

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/decompose.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dsml::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), InvalidArgument);
+}
+
+TEST(Matrix, CheckedAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 2), InvalidArgument);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), InvalidArgument);
+}
+
+TEST(Matrix, MultiplyIdentityIsNoop) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix c = a.multiply(Matrix::identity(2));
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, c), 0.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Vector v = {1.0, -1.0};
+  const Vector out = a.multiply(v);
+  EXPECT_DOUBLE_EQ(out[0], -1.0);
+  EXPECT_DOUBLE_EQ(out[1], -1.0);
+}
+
+TEST(Matrix, TransposedVectorProduct) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Vector v = {1.0, 1.0};
+  const Vector out = a.multiply_transposed(v);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+  EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(Matrix, GramMatchesExplicit) {
+  Rng rng(1);
+  Matrix a(7, 4);
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.gaussian();
+  }
+  const Matrix g = a.gram();
+  const Matrix expected = a.transposed().multiply(a);
+  EXPECT_LT(Matrix::max_abs_diff(g, expected), 1e-12);
+}
+
+TEST(Matrix, SelectColumnsAndRows) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const std::vector<std::size_t> cols = {2, 0};
+  const Matrix sc = m.select_columns(cols);
+  EXPECT_DOUBLE_EQ(sc(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(sc(1, 1), 4.0);
+  const std::vector<std::size_t> rows = {1};
+  const Matrix sr = m.select_rows(rows);
+  EXPECT_EQ(sr.rows(), 1u);
+  EXPECT_DOUBLE_EQ(sr(0, 2), 6.0);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  Matrix a = {{1.0, 2.0}};
+  Matrix b = {{3.0, 4.0}};
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 6.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  const Vector a = {1.0, 2.0, 2.0};
+  const Vector b = {3.0, 0.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+  Vector y = {1.0, 1.0, 1.0};
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[2], 5.0);
+}
+
+TEST(VectorOps, AddSubtractScale) {
+  const Vector a = {1.0, 2.0};
+  const Vector b = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(add(a, b)[1], 2.5);
+  EXPECT_DOUBLE_EQ(subtract(a, b)[0], 0.5);
+  EXPECT_DOUBLE_EQ(scale(a, 3.0)[1], 6.0);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(QRDecomposition, SolvesSquareSystem) {
+  const Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  const Vector b = {3.0, 5.0};
+  const Vector x = QR(a).solve(b);
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(QRDecomposition, LeastSquaresOverdetermined) {
+  // Fit y = 2x + 1 exactly through noiseless points.
+  Matrix a(5, 2);
+  Vector b(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = static_cast<double>(i);
+    b[i] = 1.0 + 2.0 * static_cast<double>(i);
+  }
+  const Vector x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(QRDecomposition, ResidualOrthogonalToColumns) {
+  Rng rng(2);
+  Matrix a(20, 3);
+  Vector b(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.gaussian();
+    b[i] = rng.gaussian();
+  }
+  const Vector x = QR(a).solve(b);
+  const Vector residual = subtract(b, a.multiply(x));
+  const Vector atr = a.multiply_transposed(residual);
+  for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(QRDecomposition, DetectsRankDeficiency) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);  // exact multiple
+  }
+  const QR qr(a);
+  EXPECT_TRUE(qr.rank_deficient());
+}
+
+TEST(QRDecomposition, FullRankNotFlagged) {
+  Rng rng(3);
+  Matrix a(10, 4);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.gaussian();
+  }
+  EXPECT_FALSE(QR(a).rank_deficient());
+}
+
+TEST(QRDecomposition, RejectsUnderdetermined) {
+  Matrix a(2, 3);
+  EXPECT_THROW(QR{a}, InvalidArgument);
+}
+
+TEST(QRDecomposition, RFactorReconstructsNormEquations) {
+  Rng rng(4);
+  Matrix a(12, 3);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.gaussian();
+  }
+  const QR qr(a);
+  const Matrix r = qr.r();
+  // R^T R should equal A^T A.
+  const Matrix rtr = r.transposed().multiply(r);
+  const Matrix ata = a.gram();
+  EXPECT_LT(Matrix::max_abs_diff(rtr, ata), 1e-9);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  const Matrix a = {{4.0, 2.0}, {2.0, 3.0}};
+  const Vector b = {8.0, 7.0};
+  const Vector x = Cholesky(a).solve(b);
+  // Verify by substitution.
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 8.0, 1e-12);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 7.0, 1e-12);
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  const Matrix a = {{9.0, 3.0, 0.0}, {3.0, 5.0, 1.0}, {0.0, 1.0, 2.0}};
+  const Cholesky chol(a);
+  const Matrix l = chol.l();
+  const Matrix llt = l.multiply(l.transposed());
+  EXPECT_LT(Matrix::max_abs_diff(llt, a), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky{a}, NumericalError);
+}
+
+TEST(Cholesky, InverseTimesOriginalIsIdentity) {
+  const Matrix a = {{4.0, 1.0}, {1.0, 3.0}};
+  const Matrix inv = Cholesky(a).inverse();
+  const Matrix prod = a.multiply(inv);
+  EXPECT_LT(Matrix::max_abs_diff(prod, Matrix::identity(2)), 1e-12);
+}
+
+TEST(UpperTriangularSolve, Known) {
+  const Matrix r = {{2.0, 1.0}, {0.0, 4.0}};
+  const Vector b = {4.0, 8.0};
+  const Vector x = solve_upper_triangular(r, b);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(XtxInverse, MatchesCholeskyInverse) {
+  Rng rng(5);
+  Matrix a(15, 3);
+  for (std::size_t i = 0; i < 15; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.gaussian();
+  }
+  const Matrix from_qr = xtx_inverse_from_qr(QR(a));
+  const Matrix from_chol = Cholesky(a.gram()).inverse();
+  EXPECT_LT(Matrix::max_abs_diff(from_qr, from_chol), 1e-8);
+}
+
+}  // namespace
+}  // namespace dsml::linalg

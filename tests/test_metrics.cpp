@@ -1,0 +1,84 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsml::ml {
+namespace {
+
+TEST(Ape, KnownValues) {
+  const std::vector<double> pred = {110.0, 90.0};
+  const std::vector<double> truth = {100.0, 100.0};
+  const auto errors = absolute_percentage_errors(pred, truth);
+  EXPECT_DOUBLE_EQ(errors[0], 10.0);
+  EXPECT_DOUBLE_EQ(errors[1], 10.0);
+}
+
+TEST(Ape, PerfectPrediction) {
+  const std::vector<double> v = {5.0, 7.0};
+  EXPECT_DOUBLE_EQ(mape(v, v), 0.0);
+}
+
+TEST(Ape, NonPositiveTruthThrows) {
+  const std::vector<double> pred = {1.0};
+  const std::vector<double> truth = {0.0};
+  EXPECT_THROW(absolute_percentage_errors(pred, truth), InvalidArgument);
+}
+
+TEST(Ape, SizeMismatchThrows) {
+  const std::vector<double> pred = {1.0, 2.0};
+  const std::vector<double> truth = {1.0};
+  EXPECT_THROW(mape(pred, truth), InvalidArgument);
+}
+
+TEST(Mape, Average) {
+  const std::vector<double> pred = {120.0, 100.0};
+  const std::vector<double> truth = {100.0, 100.0};
+  EXPECT_DOUBLE_EQ(mape(pred, truth), 10.0);
+}
+
+TEST(ErrorSummary, Fields) {
+  const std::vector<double> pred = {110.0, 100.0, 80.0};
+  const std::vector<double> truth = {100.0, 100.0, 100.0};
+  const ErrorSummary s = summarize_errors(pred, truth);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 20.0);
+  EXPECT_NEAR(s.stddev, 10.0, 1e-12);
+}
+
+TEST(ErrorSummary, SingleRecordZeroStddev) {
+  const std::vector<double> pred = {90.0};
+  const std::vector<double> truth = {100.0};
+  const ErrorSummary s = summarize_errors(pred, truth);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> pred = {1.0, 2.0};
+  const std::vector<double> truth = {0.0, 0.0};
+  EXPECT_NEAR(rmse(pred, truth), std::sqrt(2.5), 1e-12);
+}
+
+TEST(RSquared, PerfectFit) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(truth, truth), 1.0);
+}
+
+TEST(RSquared, MeanPredictionIsZero) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0};
+  const std::vector<double> pred = {2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(pred, truth), 0.0);
+}
+
+TEST(RSquared, WorseThanMeanIsNegative) {
+  const std::vector<double> truth = {1.0, 2.0, 3.0};
+  const std::vector<double> pred = {3.0, 2.0, 1.0};
+  EXPECT_LT(r_squared(pred, truth), 0.0);
+}
+
+}  // namespace
+}  // namespace dsml::ml

@@ -1,0 +1,65 @@
+#include "ml/model_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsml::ml {
+namespace {
+
+TEST(ModelZoo, AllNamesConstruct) {
+  for (const std::string& name : all_model_names()) {
+    const NamedModel nm = make_model(name);
+    EXPECT_EQ(nm.name, name);
+    auto model = nm.make();
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), name);
+    EXPECT_FALSE(model->fitted());
+  }
+}
+
+TEST(ModelZoo, UnknownNameThrows) {
+  EXPECT_THROW(make_model("LR-X"), InvalidArgument);
+  EXPECT_THROW(make_model(""), InvalidArgument);
+}
+
+TEST(ModelZoo, FactoriesProduceFreshInstances) {
+  const NamedModel nm = make_model("LR-B");
+  auto a = nm.make();
+  auto b = nm.make();
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(ModelZoo, ChronologicalMenuMatchesFigureOrder) {
+  const auto menu = chronological_menu();
+  ASSERT_EQ(menu.size(), 9u);
+  const std::vector<std::string> expected = {
+      "LR-E", "LR-S", "LR-B", "LR-F", "NN-Q", "NN-D", "NN-M", "NN-P", "NN-E"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(menu[i].name, expected[i]);
+  }
+}
+
+TEST(ModelZoo, SampledMenuMatchesFigures) {
+  const auto menu = sampled_dse_menu();
+  ASSERT_EQ(menu.size(), 3u);
+  EXPECT_EQ(menu[0].name, "LR-B");
+  EXPECT_EQ(menu[1].name, "NN-E");
+  EXPECT_EQ(menu[2].name, "NN-S");
+}
+
+TEST(ModelZoo, ZooOptionsPropagateToNn) {
+  ZooOptions zoo;
+  zoo.nn_seed = 123;
+  zoo.nn_epoch_scale = 0.5;
+  const NamedModel nm = make_model("NN-S", zoo);
+  auto model = nm.make();
+  const auto& nn = dynamic_cast<const NeuralRegressor&>(*model);
+  EXPECT_EQ(nn.options().seed, 123u);
+  EXPECT_DOUBLE_EQ(nn.options().epoch_scale, 0.5);
+}
+
+TEST(ModelZoo, TenModelsTotal) {
+  EXPECT_EQ(all_model_names().size(), 10u);
+}
+
+}  // namespace
+}  // namespace dsml::ml

@@ -1,0 +1,216 @@
+#include "ml/nn_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "ml/metrics.hpp"
+
+namespace dsml::ml {
+namespace {
+
+// Nonlinear target over three inputs; x3 is pure noise.
+data::Dataset make_nonlinear_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> x3(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.uniform(0.0, 1.0);
+    x2[i] = rng.uniform(0.0, 1.0);
+    x3[i] = rng.uniform(0.0, 1.0);
+    y[i] = 100.0 + 50.0 * x1[i] * x1[i] + 30.0 * std::sin(3.0 * x2[i]) +
+           rng.gaussian(0.0, 0.5);
+  }
+  data::Dataset ds;
+  ds.add_feature(data::Column::numeric("x1", std::move(x1)));
+  ds.add_feature(data::Column::numeric("x2", std::move(x2)));
+  ds.add_feature(data::Column::numeric("noise", std::move(x3)));
+  ds.set_target("y", std::move(y));
+  return ds;
+}
+
+double mean_predictor_mape(const data::Dataset& ds) {
+  const auto t = ds.target();
+  const double m = stats::mean(t);
+  std::vector<double> constant(t.size(), m);
+  return mape(constant, t);
+}
+
+class NnMethodTest : public ::testing::TestWithParam<NnMethod> {};
+
+TEST_P(NnMethodTest, BeatsMeanPredictorOnNonlinearData) {
+  const data::Dataset train = make_nonlinear_data(120, 21);
+  const data::Dataset test = make_nonlinear_data(60, 22);
+  NeuralRegressor::Options opt;
+  opt.method = GetParam();
+  opt.epoch_scale = 0.5;
+  NeuralRegressor model(opt);
+  model.fit(train);
+  const double err = mape(model.predict(test), test.target());
+  EXPECT_LT(err, mean_predictor_mape(test) * 0.5)
+      << to_string(GetParam());
+  EXPECT_LT(err, 8.0) << to_string(GetParam());
+}
+
+TEST_P(NnMethodTest, DeterministicGivenSeed) {
+  const data::Dataset train = make_nonlinear_data(60, 23);
+  NeuralRegressor::Options opt;
+  opt.method = GetParam();
+  opt.epoch_scale = 0.25;
+  opt.seed = 99;
+  NeuralRegressor a(opt);
+  NeuralRegressor b(opt);
+  a.fit(train);
+  b.fit(train);
+  const auto pa = a.predict(train);
+  const auto pb = b.predict(train);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, NnMethodTest,
+    ::testing::Values(NnMethod::kQuick, NnMethod::kDynamic,
+                      NnMethod::kMultiple, NnMethod::kPrune,
+                      NnMethod::kExhaustivePrune, NnMethod::kSingle),
+    [](const ::testing::TestParamInfo<NnMethod>& info) {
+      std::string name = to_string(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name;
+    });
+
+TEST(NeuralRegressor, NamesMatchPaper) {
+  const std::pair<NnMethod, const char*> expected[] = {
+      {NnMethod::kQuick, "NN-Q"},     {NnMethod::kDynamic, "NN-D"},
+      {NnMethod::kMultiple, "NN-M"},  {NnMethod::kPrune, "NN-P"},
+      {NnMethod::kExhaustivePrune, "NN-E"}, {NnMethod::kSingle, "NN-S"},
+  };
+  for (const auto& [method, name] : expected) {
+    NeuralRegressor::Options opt;
+    opt.method = method;
+    EXPECT_EQ(NeuralRegressor(opt).name(), name);
+  }
+}
+
+TEST(NeuralRegressor, UnfittedThrows) {
+  NeuralRegressor model;
+  const data::Dataset ds = make_nonlinear_data(10, 24);
+  EXPECT_FALSE(model.fitted());
+  EXPECT_THROW(model.predict(ds), InvalidArgument);
+  EXPECT_THROW(model.network(), InvalidArgument);
+  EXPECT_TRUE(model.importance().empty());
+}
+
+TEST(NeuralRegressor, RequiresTargetAndRows) {
+  NeuralRegressor model;
+  data::Dataset no_target;
+  no_target.add_feature(data::Column::numeric("x", {1.0, 2.0, 3.0, 4.0}));
+  EXPECT_THROW(model.fit(no_target), InvalidArgument);
+  const data::Dataset tiny = make_nonlinear_data(3, 25);
+  EXPECT_THROW(model.fit(tiny), InvalidArgument);
+}
+
+TEST(NeuralRegressor, ImportanceRanksRealPredictorsAboveNoise) {
+  const data::Dataset train = make_nonlinear_data(200, 26);
+  NeuralRegressor::Options opt;
+  opt.method = NnMethod::kQuick;
+  opt.epoch_scale = 0.5;
+  NeuralRegressor model(opt);
+  model.fit(train);
+  const auto importance = model.importance();
+  ASSERT_EQ(importance.size(), 3u);
+  double noise_importance = 0.0;
+  double x1_importance = 0.0;
+  for (const auto& imp : importance) {
+    EXPECT_GE(imp.importance, 0.0);
+    EXPECT_LE(imp.importance, 1.0);
+    if (imp.name == "noise") noise_importance = imp.importance;
+    if (imp.name == "x1") x1_importance = imp.importance;
+  }
+  EXPECT_GT(x1_importance, noise_importance);
+  // Sorted descending.
+  for (std::size_t i = 1; i < importance.size(); ++i) {
+    EXPECT_GE(importance[i - 1].importance, importance[i].importance);
+  }
+}
+
+TEST(NeuralRegressor, HandlesCategoricalInputs) {
+  Rng rng(27);
+  const std::size_t n = 120;
+  std::vector<std::string> vendor;
+  std::vector<double> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool amd = rng.chance(0.5);
+    vendor.push_back(amd ? "amd" : "intel");
+    x.push_back(rng.uniform());
+    y.push_back(10.0 + (amd ? 5.0 : 0.0) + 2.0 * x.back() +
+                rng.gaussian(0.0, 0.05));
+  }
+  data::Dataset ds;
+  ds.add_feature(data::Column::categorical("vendor", std::move(vendor)));
+  ds.add_feature(data::Column::numeric("x", std::move(x)));
+  ds.set_target("y", std::move(y));
+  NeuralRegressor::Options opt;
+  opt.method = NnMethod::kQuick;
+  opt.epoch_scale = 0.5;
+  NeuralRegressor model(opt);
+  model.fit(ds);
+  EXPECT_LT(mape(model.predict(ds), ds.target()), 5.0);
+  // The categorical's importance is reported under its own name.
+  const auto importance = model.importance();
+  bool found_vendor = false;
+  for (const auto& imp : importance) found_vendor |= imp.name == "vendor";
+  EXPECT_TRUE(found_vendor);
+}
+
+TEST(NeuralRegressor, PruneReducesNetworkRelativeToStart) {
+  const data::Dataset train = make_nonlinear_data(100, 28);
+  NeuralRegressor::Options opt;
+  opt.method = NnMethod::kPrune;
+  opt.epoch_scale = 0.25;
+  NeuralRegressor model(opt);
+  model.fit(train);
+  // NN-P starts from 2x inputs (= 6 units for 3 inputs, floored to >= 4);
+  // after pruning the surviving network should not exceed the start size.
+  ASSERT_EQ(model.network().hidden_sizes().size(), 1u);
+  EXPECT_LE(model.network().hidden_sizes()[0], 6u);
+  EXPECT_GE(model.network().hidden_sizes()[0], 1u);
+}
+
+TEST(NeuralRegressor, EpochScaleValidated) {
+  NeuralRegressor::Options opt;
+  opt.epoch_scale = 0.0;
+  EXPECT_THROW(NeuralRegressor{opt}, InvalidArgument);
+  opt.epoch_scale = 1.0;
+  opt.momentum = 1.0;
+  EXPECT_THROW(NeuralRegressor{opt}, InvalidArgument);
+}
+
+TEST(NeuralRegressor, SeedChangesModel) {
+  const data::Dataset train = make_nonlinear_data(80, 29);
+  NeuralRegressor::Options opt;
+  opt.method = NnMethod::kSingle;
+  opt.epoch_scale = 0.25;
+  opt.seed = 1;
+  NeuralRegressor a(opt);
+  a.fit(train);
+  opt.seed = 2;
+  NeuralRegressor b(opt);
+  b.fit(train);
+  const auto pa = a.predict(train);
+  const auto pb = b.predict(train);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    any_difference |= pa[i] != pb[i];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace dsml::ml

@@ -1,0 +1,145 @@
+// Property-based sweeps over the linear algebra kernels: randomized
+// instances across a grid of shapes, checking algebraic invariants rather
+// than specific values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/decompose.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dsml::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rng.gaussian();
+  }
+  return m;
+}
+
+Vector random_vector(std::size_t n, Rng& rng) {
+  Vector v(n);
+  for (double& x : v) x = rng.gaussian();
+  return v;
+}
+
+class LeastSquaresProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(LeastSquaresProperty, ResidualOrthogonalToColumnSpace) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 131 + n);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Matrix a = random_matrix(m, n, rng);
+    const Vector b = random_vector(m, rng);
+    const Vector x = QR(a).solve(b);
+    const Vector residual = subtract(b, a.multiply(x));
+    const Vector atr = a.multiply_transposed(residual);
+    for (double v : atr) {
+      EXPECT_NEAR(v, 0.0, 1e-8) << "shape " << m << "x" << n;
+    }
+  }
+}
+
+TEST_P(LeastSquaresProperty, ExactSolutionRecovered) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 977 + n);
+  const Matrix a = random_matrix(m, n, rng);
+  const Vector x_true = random_vector(n, rng);
+  const Vector b = a.multiply(x_true);
+  const Vector x = QR(a).solve(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-8);
+  }
+}
+
+TEST_P(LeastSquaresProperty, QtPreservesNorm) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 313 + n);
+  const Matrix a = random_matrix(m, n, rng);
+  const QR qr(a);
+  const Vector b = random_vector(m, rng);
+  const Vector qtb = qr.apply_qt(b);
+  // Q is orthogonal: |Q^T b| = |b|.
+  EXPECT_NEAR(norm2(qtb), norm2(b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LeastSquaresProperty,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{3, 3},
+                      std::pair<std::size_t, std::size_t>{8, 3},
+                      std::pair<std::size_t, std::size_t>{20, 5},
+                      std::pair<std::size_t, std::size_t>{50, 10},
+                      std::pair<std::size_t, std::size_t>{100, 25},
+                      std::pair<std::size_t, std::size_t>{64, 1}));
+
+class CholeskyProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyProperty, SolveMatchesQrOnSpdSystems) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 71);
+  // SPD matrix from A^T A + eps*I.
+  const Matrix a = random_matrix(n + 4, n, rng);
+  Matrix spd = a.gram();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 0.1;
+  const Vector b = random_vector(n, rng);
+  const Vector x_chol = Cholesky(spd).solve(b);
+  // Verify A x = b by substitution.
+  const Vector back = spd.multiply(x_chol);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], b[i], 1e-8);
+  }
+}
+
+TEST_P(CholeskyProperty, InverseIsTwoSided) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 91);
+  const Matrix a = random_matrix(n + 2, n, rng);
+  Matrix spd = a.gram();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 0.5;
+  const Matrix inv = Cholesky(spd).inverse();
+  EXPECT_LT(Matrix::max_abs_diff(spd.multiply(inv), Matrix::identity(n)),
+            1e-8);
+  EXPECT_LT(Matrix::max_abs_diff(inv.multiply(spd), Matrix::identity(n)),
+            1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(MatrixProperty, TransposeIsInvolution) {
+  Rng rng(7);
+  const Matrix a = random_matrix(9, 5, rng);
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a.transposed().transposed(), a), 0.0);
+}
+
+TEST(MatrixProperty, MultiplyAssociativity) {
+  Rng rng(8);
+  const Matrix a = random_matrix(4, 6, rng);
+  const Matrix b = random_matrix(6, 3, rng);
+  const Matrix c = random_matrix(3, 5, rng);
+  const Matrix left = a.multiply(b).multiply(c);
+  const Matrix right = a.multiply(b.multiply(c));
+  EXPECT_LT(Matrix::max_abs_diff(left, right), 1e-10);
+}
+
+TEST(MatrixProperty, GramIsSymmetricPsd) {
+  Rng rng(9);
+  const Matrix a = random_matrix(12, 7, rng);
+  const Matrix g = a.gram();
+  for (std::size_t i = 0; i < 7; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+    EXPECT_GE(g(i, i), 0.0);
+  }
+  // x^T G x >= 0 for random x.
+  const Vector x = random_vector(7, rng);
+  EXPECT_GE(dot(x, g.multiply(x)), -1e-10);
+}
+
+}  // namespace
+}  // namespace dsml::linalg

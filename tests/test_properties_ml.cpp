@@ -1,0 +1,172 @@
+// Property sweeps over the modelling stack: encoder invariants across
+// modes, regression invariants across selection methods, and the
+// cross-validation estimator's consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "data/encoder.hpp"
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/validation.hpp"
+
+namespace dsml::ml {
+namespace {
+
+data::Dataset random_mixed_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<bool> flag(n);
+  std::vector<std::string> cat(n);
+  std::vector<double> y(n);
+  const char* levels[] = {"a", "b", "c"};
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.uniform(-5.0, 5.0);
+    x2[i] = rng.uniform(100.0, 200.0);
+    flag[i] = rng.chance(0.5);
+    cat[i] = levels[rng.below(3)];
+    y[i] = 50.0 + 2.0 * x1[i] + 0.1 * x2[i] + (flag[i] ? 3.0 : 0.0) +
+           rng.gaussian(0.0, 0.3);
+  }
+  data::Dataset ds;
+  ds.add_feature(data::Column::numeric("x1", std::move(x1)));
+  ds.add_feature(data::Column::numeric("x2", std::move(x2)));
+  ds.add_feature(data::Column::flag("flag", std::move(flag)));
+  ds.add_feature(data::Column::categorical("cat", std::move(cat)));
+  ds.set_target("y", std::move(y));
+  return ds;
+}
+
+class EncoderModeProperty
+    : public ::testing::TestWithParam<data::EncodingMode> {};
+
+TEST_P(EncoderModeProperty, TrainingEncodingAlwaysInUnitBox) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const data::Dataset ds = random_mixed_dataset(40, seed);
+    data::Encoder enc;
+    data::EncoderOptions opt;
+    opt.mode = GetParam();
+    enc.fit(ds, opt);
+    const linalg::Matrix x = enc.encode(ds);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        EXPECT_GE(x(r, c), 0.0);
+        EXPECT_LE(x(r, c), 1.0);
+      }
+    }
+  }
+}
+
+TEST_P(EncoderModeProperty, EncodeIsRowwiseStable) {
+  // Encoding a row subset equals subsetting the encoded matrix.
+  const data::Dataset ds = random_mixed_dataset(30, 9);
+  data::Encoder enc;
+  data::EncoderOptions opt;
+  opt.mode = GetParam();
+  enc.fit(ds, opt);
+  const linalg::Matrix full = enc.encode(ds);
+  const std::vector<std::size_t> rows = {3, 17, 29};
+  const linalg::Matrix sub = enc.encode(ds.select_rows(rows));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t c = 0; c < full.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(sub(i, c), full(rows[i], c));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, EncoderModeProperty,
+                         ::testing::Values(
+                             data::EncodingMode::kLinearRegression,
+                             data::EncodingMode::kNeuralNetwork));
+
+class LinRegMethodProperty : public ::testing::TestWithParam<LinRegMethod> {};
+
+TEST_P(LinRegMethodProperty, TrainErrorSmallOnLinearGroundTruth) {
+  for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+    const data::Dataset ds = random_mixed_dataset(100, seed);
+    LinearRegression::Options opt;
+    opt.method = GetParam();
+    LinearRegression model(opt);
+    model.fit(ds);
+    EXPECT_LT(mape(model.predict(ds), ds.target()), 1.0)
+        << to_string(GetParam()) << " seed " << seed;
+  }
+}
+
+TEST_P(LinRegMethodProperty, SelectedSubsetOfEnter) {
+  // Every selection method's predictor set is a subset of what Enter admits
+  // (after the collinearity pre-filter).
+  const data::Dataset ds = random_mixed_dataset(120, 17);
+  LinearRegression::Options enter_opt;
+  enter_opt.method = LinRegMethod::kEnter;
+  LinearRegression enter(enter_opt);
+  enter.fit(ds);
+  const auto universe = enter.selected_predictors();
+
+  LinearRegression::Options opt;
+  opt.method = GetParam();
+  LinearRegression model(opt);
+  model.fit(ds);
+  for (const auto& name : model.selected_predictors()) {
+    EXPECT_NE(std::find(universe.begin(), universe.end(), name),
+              universe.end())
+        << name;
+  }
+}
+
+TEST_P(LinRegMethodProperty, RSquaredWithinUnitRange) {
+  const data::Dataset ds = random_mixed_dataset(80, 23);
+  LinearRegression::Options opt;
+  opt.method = GetParam();
+  LinearRegression model(opt);
+  model.fit(ds);
+  EXPECT_GE(model.ols().r2, 0.0);
+  EXPECT_LE(model.ols().r2, 1.0 + 1e-12);
+  EXPECT_LE(model.ols().adjusted_r2, model.ols().r2 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, LinRegMethodProperty,
+                         ::testing::Values(LinRegMethod::kEnter,
+                                           LinRegMethod::kStepwise,
+                                           LinRegMethod::kForward,
+                                           LinRegMethod::kBackward),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           name.erase(
+                               std::remove(name.begin(), name.end(), '-'),
+                               name.end());
+                           return name;
+                         });
+
+TEST(ValidationProperty, EstimateTracksNoiseFloor) {
+  // With a y = f(x) + noise ground truth and a well-specified model, the CV
+  // estimate should land near the irreducible error, across noise levels.
+  Rng rng(31);
+  for (double noise : {0.5, 2.0, 8.0}) {
+    const std::size_t n = 200;
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.uniform(0.0, 10.0);
+      y[i] = 100.0 + 5.0 * x[i] + rng.gaussian(0.0, noise);
+    }
+    data::Dataset ds;
+    ds.add_feature(data::Column::numeric("x", std::move(x)));
+    ds.set_target("y", std::move(y));
+    const ErrorEstimate est = estimate_error(
+        []() -> std::unique_ptr<Regressor> {
+          return std::make_unique<LinearRegression>();
+        },
+        ds);
+    // Mean |noise| as a percentage of the mean response (~125) scaled by
+    // sqrt(2/pi) for half-normal expectation.
+    const double floor_pct = 100.0 * noise * std::sqrt(2.0 / M_PI) / 125.0;
+    EXPECT_GT(est.average, floor_pct * 0.4) << noise;
+    EXPECT_LT(est.average, floor_pct * 2.5) << noise;
+  }
+}
+
+}  // namespace
+}  // namespace dsml::ml

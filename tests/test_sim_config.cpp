@@ -1,0 +1,133 @@
+#include "sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dsml::sim {
+namespace {
+
+TEST(DesignSpace, ExactlyPaperSize) {
+  const auto space = enumerate_design_space();
+  EXPECT_EQ(space.size(), kDesignSpaceSize);
+  EXPECT_EQ(space.size(), 4608u);
+}
+
+TEST(DesignSpace, AllConfigurationsValid) {
+  for (const auto& config : enumerate_design_space()) {
+    EXPECT_NO_THROW(config.validate());
+  }
+}
+
+TEST(DesignSpace, KeysAreUnique) {
+  std::set<std::string> keys;
+  for (const auto& config : enumerate_design_space()) {
+    keys.insert(config.key());
+  }
+  EXPECT_EQ(keys.size(), kDesignSpaceSize);
+}
+
+TEST(DesignSpace, EveryTableOneParameterVaries) {
+  const auto space = enumerate_design_space();
+  auto varies = [&](auto getter) {
+    for (const auto& c : space) {
+      if (getter(c) != getter(space.front())) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(varies([](auto& c) { return c.l1d_size_kb; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.l1d_line_b; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.l1i_size_kb; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.l1i_line_b; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.l2_size_kb; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.l2_assoc; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.l3_size_mb; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.l3_line_b; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.l3_assoc; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.branch_predictor; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.width; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.issue_wrong; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.ruu_size; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.lsq_size; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.itlb_size_kb; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.dtlb_size_kb; }));
+  EXPECT_TRUE(varies([](auto& c) { return c.fu.ialu; }));
+}
+
+TEST(DesignSpace, DocumentedTiesHold) {
+  for (const auto& c : enumerate_design_space()) {
+    // Queue/TLB resources scale together.
+    EXPECT_EQ(c.ruu_size == 256, c.lsq_size == 128);
+    EXPECT_EQ(c.ruu_size == 256, c.itlb_size_kb == 1024);
+    EXPECT_EQ(c.ruu_size == 256, c.dtlb_size_kb == 2048);
+    // FU mix follows width.
+    EXPECT_EQ(c.width == 8, c.fu.ialu == 8);
+    // L1 line size shared between I and D.
+    EXPECT_EQ(c.l1d_line_b, c.l1i_line_b);
+    // L3 parameters present/absent together.
+    EXPECT_EQ(c.l3_size_mb > 0, c.l3_line_b > 0);
+    EXPECT_EQ(c.l3_size_mb > 0, c.l3_assoc > 0);
+  }
+}
+
+TEST(ConfigValidation, RejectsOffMenuValues) {
+  ProcessorConfig c;  // defaults are valid
+  EXPECT_NO_THROW(c.validate());
+  ProcessorConfig bad = c;
+  bad.l1d_size_kb = 48;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = c;
+  bad.width = 6;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = c;
+  bad.l3_size_mb = 8;  // without line/assoc
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+  bad = c;
+  bad.fu.imult = 3;
+  EXPECT_THROW(bad.validate(), InvalidArgument);
+}
+
+TEST(ConfigDataset, TwentyFourFeatures) {
+  const auto space = enumerate_design_space();
+  const data::Dataset ds = make_config_dataset(space);
+  EXPECT_EQ(ds.n_features(), 24u);
+  EXPECT_EQ(ds.n_rows(), kDesignSpaceSize);
+  EXPECT_FALSE(ds.has_target());
+}
+
+TEST(ConfigDataset, TargetAttached) {
+  const std::vector<ProcessorConfig> two(2, ProcessorConfig{});
+  const data::Dataset ds = make_config_dataset(two, {10.0, 20.0});
+  EXPECT_TRUE(ds.has_target());
+  EXPECT_DOUBLE_EQ(ds.target_at(1), 20.0);
+  EXPECT_EQ(ds.target_name(), "cycles");
+}
+
+TEST(ConfigDataset, CyclesSizeMismatchThrows) {
+  const std::vector<ProcessorConfig> two(2, ProcessorConfig{});
+  EXPECT_THROW(make_config_dataset(two, {1.0}), InvalidArgument);
+}
+
+TEST(ConfigDataset, BranchPredictorOrderedCategorical) {
+  const auto space = enumerate_design_space();
+  const data::Dataset ds = make_config_dataset(space);
+  const data::Column& bp = ds.feature("branch_predictor");
+  EXPECT_EQ(bp.kind(), data::ColumnKind::kCategorical);
+  EXPECT_TRUE(bp.ordered());
+  EXPECT_EQ(bp.level_count(), 4u);
+}
+
+TEST(FunctionalUnitMix, ToString) {
+  const FunctionalUnitMix mix{4, 2, 2, 4, 2};
+  EXPECT_EQ(mix.to_string(), "4/2/2/4/2");
+}
+
+TEST(BranchPredictorKind, Names) {
+  EXPECT_STREQ(to_string(BranchPredictorKind::kPerfect), "perfect");
+  EXPECT_STREQ(to_string(BranchPredictorKind::kBimodal), "bimodal");
+  EXPECT_STREQ(to_string(BranchPredictorKind::kTwoLevel), "2-level");
+  EXPECT_STREQ(to_string(BranchPredictorKind::kCombination), "combination");
+}
+
+}  // namespace
+}  // namespace dsml::sim

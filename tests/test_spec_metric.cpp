@@ -1,0 +1,105 @@
+#include "specdata/spec_metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsml::specdata {
+namespace {
+
+TEST(SpecSuite, IntSuiteHasTwelveApps) {
+  EXPECT_EQ(specint2000_apps().size(), 12u);
+}
+
+TEST(SpecSuite, FpSuiteHasFourteenApps) {
+  EXPECT_EQ(specfp2000_apps().size(), 14u);
+}
+
+TEST(SpecSuite, ReferenceTimesPositive) {
+  for (const auto& app : specint2000_apps()) {
+    EXPECT_GT(app.reference_seconds, 0.0) << app.name;
+  }
+  for (const auto& app : specfp2000_apps()) {
+    EXPECT_GT(app.reference_seconds, 0.0) << app.name;
+  }
+}
+
+TEST(SpecSuite, ContainsPaperApplications) {
+  auto has = [](const std::vector<SpecApp>& apps, const char* name) {
+    for (const auto& a : apps) {
+      if (a.name.find(name) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(specint2000_apps(), "gcc"));
+  EXPECT_TRUE(has(specint2000_apps(), "mcf"));
+  EXPECT_TRUE(has(specfp2000_apps(), "applu"));
+  EXPECT_TRUE(has(specfp2000_apps(), "equake"));
+  EXPECT_TRUE(has(specfp2000_apps(), "mesa"));
+}
+
+TEST(SpecRatio, ReferenceMachineScoresHundred) {
+  EXPECT_DOUBLE_EQ(spec_ratio(1400.0, 1400.0), 100.0);
+}
+
+TEST(SpecRatio, TwiceAsFastScoresTwoHundred) {
+  EXPECT_DOUBLE_EQ(spec_ratio(1400.0, 700.0), 200.0);
+}
+
+TEST(SpecRatio, RejectsNonPositive) {
+  EXPECT_THROW(spec_ratio(0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(spec_ratio(1.0, 0.0), InvalidArgument);
+}
+
+TEST(SpecRating, GeometricMeanOfRatios) {
+  const auto& apps = specint2000_apps();
+  // A system exactly 4x the reference on every app rates 400.
+  std::vector<double> runtimes;
+  for (const auto& app : apps) runtimes.push_back(app.reference_seconds / 4.0);
+  EXPECT_NEAR(spec_rating(apps, runtimes), 400.0, 1e-9);
+}
+
+TEST(SpecRating, MixedSpeedups) {
+  // Two apps, 1x and 4x -> geometric mean 2x -> rating 200.
+  const std::vector<SpecApp> apps = {{"a", 100.0}, {"b", 100.0}};
+  const std::vector<double> runtimes = {100.0, 25.0};
+  EXPECT_NEAR(spec_rating(apps, runtimes), 200.0, 1e-9);
+}
+
+TEST(SpecRating, DominatedByNoSingleApp) {
+  // Geometric mean: halving one of 12 runtimes raises the rating by 2^(1/12).
+  const auto& apps = specint2000_apps();
+  std::vector<double> runtimes;
+  for (const auto& app : apps) runtimes.push_back(app.reference_seconds);
+  const double base = spec_rating(apps, runtimes);
+  runtimes[0] /= 2.0;
+  const double improved = spec_rating(apps, runtimes);
+  EXPECT_NEAR(improved / base, std::pow(2.0, 1.0 / 12.0), 1e-9);
+}
+
+TEST(SpecRating, SizeMismatchThrows) {
+  const auto& apps = specint2000_apps();
+  const std::vector<double> runtimes = {1.0};
+  EXPECT_THROW(spec_rating(apps, runtimes), InvalidArgument);
+}
+
+TEST(SpecRateRating, ScalesWithCopies) {
+  const std::vector<SpecApp> apps = {{"a", 100.0}};
+  const std::vector<double> elapsed = {100.0};
+  const double one = spec_rate_rating(apps, elapsed, 1);
+  const double four = spec_rate_rating(apps, elapsed, 4);
+  EXPECT_NEAR(four / one, 4.0, 1e-12);
+}
+
+TEST(SpecRateRating, RejectsBadInput) {
+  const std::vector<SpecApp> apps = {{"a", 100.0}};
+  const std::vector<double> elapsed = {100.0};
+  EXPECT_THROW(spec_rate_rating(apps, elapsed, 0), InvalidArgument);
+  const std::vector<double> bad = {0.0};
+  EXPECT_THROW(spec_rate_rating(apps, bad, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dsml::specdata

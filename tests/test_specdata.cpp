@@ -1,0 +1,201 @@
+#include "specdata/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.hpp"
+
+namespace dsml::specdata {
+namespace {
+
+TEST(Families, SevenFamilies) {
+  EXPECT_EQ(all_families().size(), 7u);
+}
+
+TEST(Families, ChipCounts) {
+  EXPECT_EQ(family_chip_count(Family::kXeon), 1);
+  EXPECT_EQ(family_chip_count(Family::kOpteron), 1);
+  EXPECT_EQ(family_chip_count(Family::kOpteron2), 2);
+  EXPECT_EQ(family_chip_count(Family::kOpteron4), 4);
+  EXPECT_EQ(family_chip_count(Family::kOpteron8), 8);
+}
+
+TEST(Generator, RecordCountsMatchPaper) {
+  for (Family family : all_families()) {
+    const auto records = generate_family(family, {});
+    EXPECT_EQ(records.size(), paper_family_stats(family).records)
+        << to_string(family);
+  }
+}
+
+TEST(Generator, RecordScaleApplies) {
+  GeneratorOptions opt;
+  opt.record_scale = 0.5;
+  const auto records = generate_family(Family::kXeon, opt);
+  EXPECT_EQ(records.size(), 108u);
+}
+
+TEST(Generator, DeterministicBySeed) {
+  const auto a = generate_family(Family::kOpteron, {});
+  const auto b = generate_family(Family::kOpteron, {});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].processor_model, b[i].processor_model);
+    EXPECT_DOUBLE_EQ(a[i].spec_rating, b[i].spec_rating);
+  }
+}
+
+TEST(Generator, SeedChangesData) {
+  GeneratorOptions opt;
+  opt.seed = 999;
+  const auto a = generate_family(Family::kOpteron, {});
+  const auto b = generate_family(Family::kOpteron, opt);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differs |= a[i].spec_rating != b[i].spec_rating;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, RatingStatsNearPaperTargets) {
+  // Loose calibration bands: range within 35% relative, variation within a
+  // factor of two. (Exact reproduction is impossible; the generator is a
+  // documented substitute for the SPEC database.)
+  for (Family family : all_families()) {
+    const auto records = generate_family(family, {});
+    std::vector<double> ratings;
+    for (const auto& r : records) ratings.push_back(r.spec_rating);
+    const FamilyStats paper = paper_family_stats(family);
+    const double range = stats::range_ratio(ratings);
+    EXPECT_GT(range, 1.0 + (paper.range - 1.0) * 0.4) << to_string(family);
+    EXPECT_LT(range, 1.0 + (paper.range - 1.0) * 2.0) << to_string(family);
+    const double variation = stats::variation(ratings);
+    EXPECT_GT(variation, paper.variation * 0.4) << to_string(family);
+    EXPECT_LT(variation, paper.variation * 2.0) << to_string(family);
+  }
+}
+
+TEST(Generator, BothYearsPresent) {
+  for (Family family : all_families()) {
+    const auto records = generate_family(family, {});
+    std::size_t y2005 = 0;
+    std::size_t y2006 = 0;
+    for (const auto& r : records) {
+      if (r.year == 2005) ++y2005;
+      if (r.year == 2006) ++y2006;
+    }
+    EXPECT_GT(y2005, records.size() / 4) << to_string(family);
+    EXPECT_GT(y2006, records.size() / 4) << to_string(family);
+    EXPECT_EQ(y2005 + y2006, records.size()) << to_string(family);
+  }
+}
+
+TEST(Generator, TechnologyDriftBetweenYears) {
+  // 2006 systems are on average faster (new SKUs, faster memory).
+  const auto records = generate_family(Family::kXeon, {});
+  stats::RunningStats speed2005;
+  stats::RunningStats speed2006;
+  stats::RunningStats mem2005;
+  stats::RunningStats mem2006;
+  for (const auto& r : records) {
+    if (r.year == 2005) {
+      speed2005.add(r.processor_speed_mhz);
+      mem2005.add(r.memory_frequency_mhz);
+    } else {
+      speed2006.add(r.processor_speed_mhz);
+      mem2006.add(r.memory_frequency_mhz);
+    }
+  }
+  EXPECT_GT(speed2006.mean(), speed2005.mean());
+  EXPECT_GT(mem2006.mean(), mem2005.mean());
+}
+
+TEST(Generator, ChipCountsConsistent) {
+  for (Family family : {Family::kOpteron2, Family::kOpteron8}) {
+    for (const auto& r : generate_family(family, {})) {
+      EXPECT_EQ(r.total_chips, family_chip_count(family));
+      EXPECT_EQ(r.total_cores, r.total_chips * r.cores_per_chip);
+      EXPECT_TRUE(r.parallel);
+    }
+  }
+}
+
+TEST(Generator, RatingsTrackGroundTruth) {
+  // The published rating is the hidden function plus bounded noise.
+  for (const auto& r : generate_family(Family::kPentium4, {})) {
+    const double expected = ground_truth_rating(r);
+    EXPECT_NEAR(r.spec_rating / expected, 1.0, 0.12);
+  }
+}
+
+TEST(GroundTruth, MonotoneInProcessorSpeed) {
+  Announcement a;
+  a.family = Family::kXeon;
+  a.processor_speed_mhz = 2800;
+  Announcement b = a;
+  b.processor_speed_mhz = 3800;
+  EXPECT_GT(ground_truth_rating(b), ground_truth_rating(a));
+}
+
+TEST(GroundTruth, MonotoneInL2AndMemoryFrequency) {
+  Announcement a;
+  a.family = Family::kPentium4;
+  a.l2_size_kb = 256;
+  a.memory_frequency_mhz = 266;
+  Announcement b = a;
+  b.l2_size_kb = 2048;
+  EXPECT_GT(ground_truth_rating(b), ground_truth_rating(a));
+  Announcement c = a;
+  c.memory_frequency_mhz = 533;
+  EXPECT_GT(ground_truth_rating(c), ground_truth_rating(a));
+}
+
+TEST(Dataset, ThirtyTwoPlusFeatures) {
+  const auto records = generate_family(Family::kXeon, {});
+  const data::Dataset ds = to_dataset(records);
+  // The paper counts "32 system parameters"; our schema carries 33 columns
+  // (the extra-components field rides along).
+  EXPECT_GE(ds.n_features(), 32u);
+  EXPECT_TRUE(ds.has_target());
+  EXPECT_EQ(ds.target_name(), "specint_rate");
+}
+
+TEST(Dataset, MixedColumnKinds) {
+  const auto records = generate_family(Family::kOpteron2, {});
+  const data::Dataset ds = to_dataset(records);
+  EXPECT_EQ(ds.feature("company").kind(), data::ColumnKind::kCategorical);
+  EXPECT_EQ(ds.feature("smt").kind(), data::ColumnKind::kFlag);
+  EXPECT_EQ(ds.feature("processor_speed_mhz").kind(),
+            data::ColumnKind::kNumeric);
+}
+
+TEST(ChronologicalSplit, PartitionsByYear) {
+  const auto records = generate_family(Family::kOpteron, {});
+  const auto [train, test] = chronological_split(records, 2005);
+  EXPECT_EQ(train.n_rows() + test.n_rows(), records.size());
+  EXPECT_GT(train.n_rows(), 0u);
+  EXPECT_GT(test.n_rows(), 0u);
+}
+
+TEST(ChronologicalSplit, SharedLevelDictionaries) {
+  const auto records = generate_family(Family::kXeon, {});
+  const auto [train, test] = chronological_split(records, 2005);
+  EXPECT_EQ(train.feature("processor_model").levels(),
+            test.feature("processor_model").levels());
+}
+
+TEST(ChronologicalSplit, EmptySideThrows) {
+  const auto records = generate_family(Family::kXeon, {});
+  EXPECT_THROW(chronological_split(records, 1990), InvalidArgument);
+  EXPECT_THROW(chronological_split(records, 2010), InvalidArgument);
+}
+
+TEST(FamilyNames, AllDistinct) {
+  std::set<std::string> names;
+  for (Family family : all_families()) names.insert(to_string(family));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace dsml::specdata

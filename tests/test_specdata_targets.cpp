@@ -1,0 +1,100 @@
+// Tests for the SPECfp and individual-application rating targets.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "dse/chronological.hpp"
+#include "specdata/generator.hpp"
+#include "specdata/spec_metric.hpp"
+
+namespace dsml::specdata {
+namespace {
+
+TEST(FpRating, PresentAndConsistent) {
+  for (const auto& r : generate_family(Family::kOpteron, {})) {
+    EXPECT_GT(r.spec_fp_rating, 0.0);
+    ASSERT_EQ(r.int_app_runtimes.size(), specint2000_apps().size());
+    ASSERT_EQ(r.fp_app_runtimes.size(), specfp2000_apps().size());
+    // The stored ratings equal the SPEC metric over the stored runtimes.
+    EXPECT_NEAR(r.spec_rating,
+                spec_rating(specint2000_apps(), r.int_app_runtimes), 1e-9);
+    EXPECT_NEAR(r.spec_fp_rating,
+                spec_rating(specfp2000_apps(), r.fp_app_runtimes), 1e-9);
+  }
+}
+
+TEST(FpRating, CorrelatesWithIntRating) {
+  // Same hidden machine performance drives both suites.
+  std::vector<double> int_ratings;
+  std::vector<double> fp_ratings;
+  for (const auto& r : generate_family(Family::kXeon, {})) {
+    int_ratings.push_back(r.spec_rating);
+    fp_ratings.push_back(r.spec_fp_rating);
+  }
+  EXPECT_GT(stats::pearson(int_ratings, fp_ratings), 0.8);
+}
+
+TEST(FpRating, OpteronRelativelyStrongerThanPentium4) {
+  // fp/int ratio reflects the documented architectural difference.
+  auto mean_ratio = [](Family family) {
+    stats::RunningStats rs;
+    for (const auto& r : generate_family(family, {})) {
+      rs.add(r.spec_fp_rating / r.spec_rating);
+    }
+    return rs.mean();
+  };
+  EXPECT_GT(mean_ratio(Family::kOpteron), mean_ratio(Family::kPentium4));
+}
+
+TEST(RatingTarget, Names) {
+  EXPECT_EQ(RatingTarget::int_rate().name(), "specint_rate");
+  EXPECT_EQ(RatingTarget::fp_rate().name(), "specfp_rate");
+  EXPECT_EQ(RatingTarget::int_app(3).name(), "ratio:181.mcf");
+  EXPECT_EQ(RatingTarget::fp_app(3).name(), "ratio:173.applu");
+}
+
+TEST(RatingTarget, ValuesMatchRecords) {
+  const auto records = generate_family(Family::kPentiumD, {});
+  const Announcement& r = records.front();
+  EXPECT_DOUBLE_EQ(RatingTarget::int_rate().value(r), r.spec_rating);
+  EXPECT_DOUBLE_EQ(RatingTarget::fp_rate().value(r), r.spec_fp_rating);
+  EXPECT_NEAR(RatingTarget::int_app(0).value(r),
+              spec_ratio(specint2000_apps()[0].reference_seconds,
+                         r.int_app_runtimes[0]),
+              1e-12);
+}
+
+TEST(RatingTarget, OutOfRangeAppThrows) {
+  const auto records = generate_family(Family::kXeon, {});
+  EXPECT_THROW(RatingTarget::int_app(99).value(records.front()),
+               std::exception);
+}
+
+TEST(RatingTarget, DatasetTargetSelected) {
+  const auto records = generate_family(Family::kXeon, {});
+  const data::Dataset fp = to_dataset(records, RatingTarget::fp_rate());
+  EXPECT_EQ(fp.target_name(), "specfp_rate");
+  EXPECT_DOUBLE_EQ(fp.target_at(0), records[0].spec_fp_rating);
+  const data::Dataset app =
+      to_dataset(records, RatingTarget::int_app(2));
+  EXPECT_EQ(app.target_name(), "ratio:176.gcc");
+}
+
+TEST(ChronologicalFp, LinearRegressionStillAccurate) {
+  dse::ChronologicalOptions options;
+  options.model_names = {"LR-E"};
+  options.target = RatingTarget::fp_rate();
+  const auto result = dse::run_chronological(Family::kXeon, options);
+  EXPECT_LT(result.best().error.mean, 5.0);
+}
+
+TEST(ChronologicalPerApp, PredictableWithinReason) {
+  // The paper: individual applications "can also be accurately estimated".
+  dse::ChronologicalOptions options;
+  options.model_names = {"LR-E"};
+  options.target = RatingTarget::int_app(0);  // 164.gzip
+  const auto result = dse::run_chronological(Family::kXeon, options);
+  EXPECT_LT(result.best().error.mean, 6.0);
+}
+
+}  // namespace
+}  // namespace dsml::specdata

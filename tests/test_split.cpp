@@ -1,0 +1,118 @@
+#include "data/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dsml::data {
+namespace {
+
+TEST(SampleFraction, SizeMatchesFraction) {
+  Rng rng(1);
+  const auto idx = sample_fraction(1000, 0.05, rng);
+  EXPECT_EQ(idx.size(), 50u);
+}
+
+TEST(SampleFraction, RespectsMinRows) {
+  Rng rng(2);
+  const auto idx = sample_fraction(1000, 0.001, rng, 10);
+  EXPECT_EQ(idx.size(), 10u);
+}
+
+TEST(SampleFraction, SortedAndUnique) {
+  Rng rng(3);
+  const auto idx = sample_fraction(500, 0.2, rng);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  const std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), idx.size());
+}
+
+TEST(SampleFraction, FullFraction) {
+  Rng rng(4);
+  const auto idx = sample_fraction(20, 1.0, rng);
+  EXPECT_EQ(idx.size(), 20u);
+}
+
+TEST(SampleFraction, InvalidFractionThrows) {
+  Rng rng(5);
+  EXPECT_THROW(sample_fraction(10, 0.0, rng), InvalidArgument);
+  EXPECT_THROW(sample_fraction(10, 1.5, rng), InvalidArgument);
+}
+
+TEST(SampleFraction, DifferentSeedsDifferentSamples) {
+  Rng a(6);
+  Rng b(7);
+  EXPECT_NE(sample_fraction(1000, 0.05, a), sample_fraction(1000, 0.05, b));
+}
+
+TEST(Complement, PartitionsRange) {
+  Rng rng(8);
+  const auto idx = sample_fraction(100, 0.3, rng);
+  const auto rest = complement(100, idx);
+  EXPECT_EQ(idx.size() + rest.size(), 100u);
+  std::set<std::size_t> all(idx.begin(), idx.end());
+  all.insert(rest.begin(), rest.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(Complement, EmptySelection) {
+  const auto rest = complement(5, {});
+  EXPECT_EQ(rest.size(), 5u);
+}
+
+TEST(SplitHalf, PartitionsEvenly) {
+  Rng rng(9);
+  const auto [a, b] = split_half(10, rng);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(b.size(), 5u);
+  std::set<std::size_t> all(a.begin(), a.end());
+  all.insert(b.begin(), b.end());
+  EXPECT_EQ(all.size(), 10u);
+}
+
+TEST(SplitHalf, OddSizeFirstGetsExtra) {
+  Rng rng(10);
+  const auto [a, b] = split_half(7, rng);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(SplitHalf, TooSmallThrows) {
+  Rng rng(11);
+  EXPECT_THROW(split_half(1, rng), InvalidArgument);
+}
+
+class KFoldTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KFoldTest, FoldsPartitionData) {
+  const std::size_t k = GetParam();
+  Rng rng(12);
+  const std::size_t n = 53;
+  const auto folds = k_fold(n, k, rng);
+  ASSERT_EQ(folds.size(), k);
+  std::vector<int> validation_count(n, 0);
+  for (const auto& [train, val] : folds) {
+    EXPECT_EQ(train.size() + val.size(), n);
+    // Train and validation are disjoint.
+    std::set<std::size_t> t(train.begin(), train.end());
+    for (std::size_t v : val) {
+      EXPECT_EQ(t.count(v), 0u);
+      ++validation_count[v];
+    }
+  }
+  // Every row is validated exactly once across folds.
+  for (int c : validation_count) EXPECT_EQ(c, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousK, KFoldTest,
+                         ::testing::Values(2, 3, 5, 10, 53));
+
+TEST(KFold, InvalidKThrows) {
+  Rng rng(13);
+  EXPECT_THROW(k_fold(10, 1, rng), InvalidArgument);
+  EXPECT_THROW(k_fold(10, 11, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dsml::data

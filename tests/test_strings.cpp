@@ -1,0 +1,90 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsml::strings {
+namespace {
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Split, EmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Trim, KeepsInnerWhitespace) {
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"x"}, ","), "x");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, Basic) {
+  EXPECT_EQ(to_lower("HeLLo 123"), "hello 123");
+}
+
+TEST(IsNumber, AcceptsNumbers) {
+  EXPECT_TRUE(is_number("42"));
+  EXPECT_TRUE(is_number("-3.5"));
+  EXPECT_TRUE(is_number("1e-3"));
+  EXPECT_TRUE(is_number("  7.0  "));
+}
+
+TEST(IsNumber, RejectsNonNumbers) {
+  EXPECT_FALSE(is_number(""));
+  EXPECT_FALSE(is_number("abc"));
+  EXPECT_FALSE(is_number("1.2.3"));
+  EXPECT_FALSE(is_number("4x"));
+}
+
+TEST(ParseDouble, Valid) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double(" -1e2 "), -100.0);
+}
+
+TEST(ParseDouble, InvalidThrows) {
+  EXPECT_THROW(parse_double("abc"), IoError);
+  EXPECT_THROW(parse_double(""), IoError);
+  EXPECT_THROW(parse_double("1.5x"), IoError);
+}
+
+TEST(FormatDouble, FixedDigits) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace dsml::strings

@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dsml {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.str();
+  // All lines share the same width.
+  std::istringstream in(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinter, ContainsValues) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"hello", "world"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("hello"), std::string::npos);
+  EXPECT_NE(s.find("world"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+}
+
+TEST(TablePrinter, NumericRowFormatting) {
+  TablePrinter t({"label", "x", "y"});
+  t.add_row_numeric("row", {1.234, 5.678}, 1);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("1.2"), std::string::npos);
+  EXPECT_NE(s.find("5.7"), std::string::npos);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TablePrinter, EmptyHeaderThrows) {
+  EXPECT_THROW(TablePrinter({}), InvalidArgument);
+}
+
+TEST(TablePrinter, PrintMatchesStr) {
+  TablePrinter t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.str());
+}
+
+}  // namespace
+}  // namespace dsml

@@ -1,0 +1,146 @@
+#include "ml/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/nn_models.hpp"
+
+namespace dsml::ml {
+namespace {
+
+data::Dataset make_linear_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.uniform(0.0, 10.0);
+    x2[i] = rng.uniform(0.0, 10.0);
+    y[i] = 50.0 + 3.0 * x1[i] + 1.0 * x2[i] + rng.gaussian(0.0, 0.5);
+  }
+  data::Dataset ds;
+  ds.add_feature(data::Column::numeric("x1", std::move(x1)));
+  ds.add_feature(data::Column::numeric("x2", std::move(x2)));
+  ds.set_target("y", std::move(y));
+  return ds;
+}
+
+ModelFactory lr_factory() {
+  return []() -> std::unique_ptr<Regressor> {
+    return std::make_unique<LinearRegression>();
+  };
+}
+
+/// A deliberately bad model: always predicts a constant far from the data.
+class BadModel final : public Regressor {
+ public:
+  void fit(const data::Dataset&) override { fitted_ = true; }
+  std::vector<double> predict(const data::Dataset& ds) const override {
+    return std::vector<double>(ds.n_rows(), 1.0);
+  }
+  std::string name() const override { return "Bad"; }
+  bool fitted() const noexcept override { return fitted_; }
+
+ private:
+  bool fitted_ = false;
+};
+
+TEST(EstimateError, ProducesRequestedFolds) {
+  const data::Dataset ds = make_linear_data(60, 1);
+  ValidationOptions opt;
+  opt.repeats = 5;
+  const ErrorEstimate est = estimate_error(lr_factory(), ds, opt);
+  EXPECT_EQ(est.folds.size(), 5u);
+  EXPECT_GE(est.maximum, est.average);
+  for (double f : est.folds) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, est.maximum);
+  }
+}
+
+TEST(EstimateError, LowForWellSpecifiedModel) {
+  const data::Dataset ds = make_linear_data(120, 2);
+  const ErrorEstimate est = estimate_error(lr_factory(), ds);
+  EXPECT_LT(est.maximum, 3.0);
+}
+
+TEST(EstimateError, DeterministicGivenSeed) {
+  const data::Dataset ds = make_linear_data(60, 3);
+  ValidationOptions opt;
+  opt.seed = 77;
+  const ErrorEstimate a = estimate_error(lr_factory(), ds, opt);
+  const ErrorEstimate b = estimate_error(lr_factory(), ds, opt);
+  EXPECT_EQ(a.folds, b.folds);
+}
+
+TEST(EstimateError, TooFewRowsThrows) {
+  const data::Dataset ds = make_linear_data(6, 4);
+  EXPECT_THROW(estimate_error(lr_factory(), ds), InvalidArgument);
+}
+
+TEST(EstimateError, ZeroRepeatsThrows) {
+  const data::Dataset ds = make_linear_data(30, 5);
+  ValidationOptions opt;
+  opt.repeats = 0;
+  EXPECT_THROW(estimate_error(lr_factory(), ds, opt), InvalidArgument);
+}
+
+TEST(SelectModel, PicksTheBetterCandidate) {
+  const data::Dataset train = make_linear_data(100, 6);
+  std::vector<NamedModel> candidates;
+  candidates.push_back({"LR-B", lr_factory()});
+  candidates.push_back({"Bad", []() -> std::unique_ptr<Regressor> {
+                          return std::make_unique<BadModel>();
+                        }});
+  SelectModel select(std::move(candidates));
+  select.fit(train);
+  EXPECT_EQ(select.chosen_name(), "LR-B");
+  EXPECT_EQ(select.name(), "Select(LR-B)");
+  // Its predictions behave like the chosen model's.
+  const data::Dataset test = make_linear_data(40, 7);
+  EXPECT_LT(mape(select.predict(test), test.target()), 3.0);
+}
+
+TEST(SelectModel, ExposesPerCandidateEstimates) {
+  const data::Dataset train = make_linear_data(80, 8);
+  std::vector<NamedModel> candidates;
+  candidates.push_back({"LR-B", lr_factory()});
+  candidates.push_back({"Bad", []() -> std::unique_ptr<Regressor> {
+                          return std::make_unique<BadModel>();
+                        }});
+  SelectModel select(std::move(candidates));
+  select.fit(train);
+  ASSERT_EQ(select.estimates().size(), 2u);
+  EXPECT_LT(select.estimates()[0].maximum, select.estimates()[1].maximum);
+  EXPECT_DOUBLE_EQ(select.chosen_estimate().maximum,
+                   select.estimates()[0].maximum);
+}
+
+TEST(SelectModel, UnfittedBehaviour) {
+  std::vector<NamedModel> candidates;
+  candidates.push_back({"LR-B", lr_factory()});
+  SelectModel select(std::move(candidates));
+  EXPECT_FALSE(select.fitted());
+  EXPECT_EQ(select.name(), "Select");
+  const data::Dataset ds = make_linear_data(20, 9);
+  EXPECT_THROW(select.predict(ds), InvalidArgument);
+  EXPECT_THROW(select.chosen_name(), InvalidArgument);
+}
+
+TEST(SelectModel, EmptyCandidatesThrows) {
+  EXPECT_THROW(SelectModel({}), InvalidArgument);
+}
+
+TEST(SelectModel, ImportanceDelegatesToChosen) {
+  const data::Dataset train = make_linear_data(100, 10);
+  std::vector<NamedModel> candidates;
+  candidates.push_back({"LR-B", lr_factory()});
+  SelectModel select(std::move(candidates));
+  select.fit(train);
+  EXPECT_FALSE(select.importance().empty());
+}
+
+}  // namespace
+}  // namespace dsml::ml

@@ -1,0 +1,269 @@
+#include "cli.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "data/split.hpp"
+#include "dse/chronological.hpp"
+#include "dse/sampled.hpp"
+#include "dse/sweep.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/serialize.hpp"
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace dsml::cli {
+
+namespace {
+
+/// Parsed "--key value" options plus positional arguments.
+struct Options {
+  std::map<std::string, std::string> named;
+  std::vector<std::string> positional;
+
+  std::optional<std::string> get(const std::string& key) const {
+    auto it = named.find(key);
+    if (it == named.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string get_or(const std::string& key,
+                     const std::string& fallback) const {
+    return get(key).value_or(fallback);
+  }
+};
+
+Options parse_options(const std::vector<std::string>& args,
+                      std::size_t begin) {
+  Options out;
+  for (std::size_t i = begin; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (i + 1 >= args.size()) {
+        throw InvalidArgument("missing value for --" + key);
+      }
+      out.named[key] = args[++i];
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> parse_list(const std::string& csv) {
+  std::vector<std::string> out;
+  for (const auto& part : strings::split(csv, ',')) {
+    const auto trimmed = strings::trim(part);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+specdata::Family parse_family(const std::string& name) {
+  const std::string lower = strings::to_lower(name);
+  if (lower == "xeon") return specdata::Family::kXeon;
+  if (lower == "p4" || lower == "pentium4") return specdata::Family::kPentium4;
+  if (lower == "pd" || lower == "pentiumd") return specdata::Family::kPentiumD;
+  if (lower == "opteron") return specdata::Family::kOpteron;
+  if (lower == "opteron2") return specdata::Family::kOpteron2;
+  if (lower == "opteron4") return specdata::Family::kOpteron4;
+  if (lower == "opteron8") return specdata::Family::kOpteron8;
+  throw InvalidArgument("unknown family '" + name +
+                        "' (xeon|p4|pd|opteron|opteron2|opteron4|opteron8)");
+}
+
+specdata::RatingTarget parse_target(const std::string& spec) {
+  if (spec == "int") return specdata::RatingTarget::int_rate();
+  if (spec == "fp") return specdata::RatingTarget::fp_rate();
+  if (spec.rfind("app:", 0) == 0) {
+    return specdata::RatingTarget::int_app(
+        static_cast<std::size_t>(std::stoul(spec.substr(4))));
+  }
+  throw InvalidArgument("unknown target '" + spec + "' (int|fp|app:<i>)");
+}
+
+dse::SweepOptions sweep_options_from(const Options& opt) {
+  dse::SweepOptions sweep;
+  sweep.full_trace_instructions = static_cast<std::size_t>(
+      std::stoull(opt.get_or("full", "600000")));
+  sweep.interval_instructions = static_cast<std::size_t>(
+      std::stoull(opt.get_or("interval", "30000")));
+  sweep.max_clusters =
+      static_cast<std::size_t>(std::stoull(opt.get_or("clusters", "4")));
+  return sweep;
+}
+
+int cmd_list(std::ostream& out) {
+  out << "applications:";
+  for (const auto& name : workload::spec_profile_names()) out << ' ' << name;
+  out << "\nfamilies: xeon p4 pd opteron opteron2 opteron4 opteron8\n";
+  out << "models:";
+  for (const auto& name : ml::all_model_names()) out << ' ' << name;
+  out << "\n";
+  return 0;
+}
+
+int cmd_sweep(const Options& opt, std::ostream& out) {
+  const std::string app = opt.get_or("app", "mcf");
+  const dse::SweepResult sweep =
+      dse::run_design_space_sweep(app, sweep_options_from(opt));
+  out << "app " << app << ": " << sweep.cycles.size() << " configurations, "
+      << sweep.simpoint_count << " simpoints, "
+      << sweep.simulated_instructions << " instr/config"
+      << (sweep.from_cache ? " [cache]" : "") << "\n";
+  if (const auto path = opt.get("csv")) {
+    const data::Dataset ds = dse::sweep_dataset(sweep);
+    csv::write_file(*path, ds.to_csv());
+    out << "wrote " << ds.n_rows() << " rows to " << *path << "\n";
+  }
+  return 0;
+}
+
+int cmd_sampled(const Options& opt, std::ostream& out) {
+  const std::string app = opt.get_or("app", "mcf");
+  const dse::SweepResult sweep =
+      dse::run_design_space_sweep(app, sweep_options_from(opt));
+  dse::SampledDseOptions options;
+  if (const auto rates = opt.get("rates")) {
+    options.sampling_rates.clear();
+    for (const auto& r : parse_list(*rates)) {
+      options.sampling_rates.push_back(strings::parse_double(r));
+    }
+  }
+  if (const auto models = opt.get("models")) {
+    options.model_names = parse_list(*models);
+  }
+  const auto result =
+      dse::run_sampled_dse(dse::sweep_dataset(sweep), app, options);
+  TablePrinter table({"model", "rate", "est err %", "true err %"});
+  for (const auto& run : result.runs) {
+    table.add_row({run.model, strings::format_double(run.rate * 100, 0) + "%",
+                   strings::format_double(run.estimated_error_max, 2),
+                   strings::format_double(run.true_error, 2)});
+  }
+  table.print(out);
+  for (const auto& sel : result.select) {
+    out << "select @" << strings::format_double(sel.rate * 100, 0) << "%: "
+        << sel.chosen_model << " (true "
+        << strings::format_double(sel.true_error, 2) << "%)\n";
+  }
+  return 0;
+}
+
+int cmd_chrono(const Options& opt, std::ostream& out) {
+  const specdata::Family family = parse_family(opt.get_or("family", "xeon"));
+  dse::ChronologicalOptions options;
+  options.target = parse_target(opt.get_or("target", "int"));
+  if (const auto models = opt.get("models")) {
+    options.model_names = parse_list(*models);
+  }
+  const auto result = dse::run_chronological(family, options);
+  out << to_string(family) << " (" << options.target.name() << "): train "
+      << result.train_rows << " rows (2005), test " << result.test_rows
+      << " rows (2006)\n";
+  TablePrinter table({"model", "mean err %", "std %"});
+  for (const auto& m : result.models) {
+    table.add_row({m.model, strings::format_double(m.error.mean, 2),
+                   strings::format_double(m.error.stddev, 2)});
+  }
+  table.print(out);
+  out << "best: " << result.best().model << "\n";
+  return 0;
+}
+
+int cmd_train(const Options& opt, std::ostream& out) {
+  const std::string app = opt.get_or("app", "mcf");
+  const double rate = strings::parse_double(opt.get_or("rate", "0.02"));
+  const std::string model_name = opt.get_or("model", "NN-E");
+  const std::string out_path = opt.get_or("out", "model.dsml");
+
+  const dse::SweepResult sweep =
+      dse::run_design_space_sweep(app, sweep_options_from(opt));
+  const data::Dataset full = dse::sweep_dataset(sweep);
+  Rng rng(std::stoull(opt.get_or("seed", "7")));
+  const auto idx = data::sample_fraction(full.n_rows(), rate, rng, 10);
+  const data::Dataset train = full.select_rows(idx);
+
+  auto model = ml::make_model(model_name).make();
+  model->fit(train);
+  const double err = ml::mape(model->predict(full), full.target());
+  ml::save_model(*model, out_path);
+  out << "trained " << model_name << " on " << train.n_rows()
+      << " simulations of '" << app << "', full-space error "
+      << strings::format_double(err, 2) << "%, saved to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_predict(const Options& opt, std::ostream& out) {
+  const auto path = opt.get("model");
+  if (!path) throw InvalidArgument("predict requires --model <file>");
+  const auto top =
+      static_cast<std::size_t>(std::stoull(opt.get_or("top", "10")));
+
+  const auto model = ml::load_model(*path);
+  const auto space = sim::enumerate_design_space();
+  const data::Dataset all = sim::make_config_dataset(space);
+  const std::vector<double> predicted = model->predict(all);
+
+  std::vector<std::size_t> order(space.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return predicted[a] < predicted[b];
+  });
+  out << "model " << model->name() << ", top " << top
+      << " configurations by predicted cycles:\n";
+  TablePrinter table({"rank", "configuration", "predicted cycles"});
+  for (std::size_t i = 0; i < top && i < order.size(); ++i) {
+    table.add_row({std::to_string(i + 1), space[order[i]].key(),
+                   strings::format_double(predicted[order[i]], 0)});
+  }
+  table.print(out);
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "usage: dsml <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  list                              enumerate apps, families, models\n"
+      "  sweep   --app A [--full N --interval N --clusters K] [--csv F]\n"
+      "  sampled --app A [--rates R1,R2] [--models M1,M2]\n"
+      "  chrono  --family F [--target int|fp|app:<i>] [--models M1,M2]\n"
+      "  train   --app A --rate R --model M --out F [--seed S]\n"
+      "  predict --model F [--top N]\n";
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << usage();
+    return args.empty() ? 1 : 0;
+  }
+  try {
+    const Options opt = parse_options(args, 1);
+    const std::string& cmd = args[0];
+    if (cmd == "list") return cmd_list(out);
+    if (cmd == "sweep") return cmd_sweep(opt, out);
+    if (cmd == "sampled") return cmd_sampled(opt, out);
+    if (cmd == "chrono") return cmd_chrono(opt, out);
+    if (cmd == "train") return cmd_train(opt, out);
+    if (cmd == "predict") return cmd_predict(opt, out);
+    err << "unknown command '" << cmd << "'\n" << usage();
+    return 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace dsml::cli

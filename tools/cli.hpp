@@ -1,0 +1,34 @@
+// The `dsml` command-line driver, as a library so it is directly testable.
+//
+// Subcommands:
+//   dsml list                               — apps, families, models
+//   dsml sweep   --app mcf [--full N --interval N --clusters K]
+//                [--csv out.csv]            — full design-space sweep
+//   dsml sampled --app mcf [--rates 0.01,0.03] [--models LR-B,NN-E,NN-S]
+//                                           — §4.2 experiment
+//   dsml chrono  --family xeon [--target int|fp|app:<i>] [--models ...]
+//                                           — §4.3 experiment
+//   dsml train   --app mcf --rate 0.02 --model NN-E --out model.dsml
+//                                           — fit a surrogate, save it
+//   dsml predict --model model.dsml [--top N]
+//                                           — rank the design space with a
+//                                             saved surrogate
+//
+// Every command honours the library's environment knobs (DSML_CACHE_DIR).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dsml::cli {
+
+/// Runs the CLI. `args` excludes the program name. Output goes to `out`,
+/// diagnostics to `err`. Returns a process exit code.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+/// Usage text.
+std::string usage();
+
+}  // namespace dsml::cli

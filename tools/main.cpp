@@ -1,0 +1,11 @@
+// Entry point for the `dsml` command-line driver (see cli.hpp).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return dsml::cli::run(args, std::cout, std::cerr);
+}
