@@ -36,7 +36,7 @@ int main() {
   std::vector<std::string> header = {"statistics"};
   for (double r : rates) header.push_back(strings::format_double(r * 100, 0) + "%");
   TablePrinter table(header);
-  for (const std::string& model : {"LR-B", "NN-E", "NN-S"}) {
+  for (const std::string model : {"LR-B", "NN-E", "NN-S"}) {
     std::vector<double> row;
     for (double r : rates) row.push_back(sums[model][r] / double(apps));
     table.add_row_numeric(model, row);

@@ -115,7 +115,7 @@ void print_sampled_figure(const dse::SampledDseResult& result,
     header.push_back(strings::format_double(r * 100.0, 0) + "%");
   }
   TablePrinter table(header);
-  for (const std::string& model : {"NN-E", "NN-S", "LR-B"}) {
+  for (const std::string model : {"NN-E", "NN-S", "LR-B"}) {
     std::vector<double> true_row;
     std::vector<double> est_row;
     for (double rate : rates) {

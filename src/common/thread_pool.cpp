@@ -2,17 +2,40 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 namespace dsml {
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+namespace {
+
+/// Set for the lifetime of every worker thread (any pool). Nested
+/// parallel_for consults it to avoid submitting to a pool whose workers may
+/// all be blocked waiting on the nested loop's futures.
+thread_local bool tls_in_worker = false;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("DSML_THREADS"); env && *env) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
   }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this] {
+      tls_in_worker = true;
+      worker_loop();
+    });
   }
 }
 
@@ -41,19 +64,20 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::in_worker_thread() noexcept { return tls_in_worker; }
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  ThreadPool& pool = ThreadPool::global();
   const std::size_t workers = pool.size();
-  if (workers <= 1 || n == 1) {
+  if (workers <= 1 || n == 1 || ThreadPool::in_worker_thread()) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -83,8 +107,17 @@ void parallel_for(std::size_t begin, std::size_t end,
       }
     }));
   }
+  // future::wait() on each task's shared state gives the release/acquire
+  // edge that makes the workers' writes (fn side effects and first_error)
+  // visible here.
   for (auto& f : futures) f.wait();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  parallel_for(ThreadPool::global(), begin, end, fn, grain);
 }
 
 }  // namespace dsml

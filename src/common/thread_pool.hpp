@@ -5,6 +5,17 @@
 // so a fixed pool with a shared queue is sufficient and keeps the code simple
 // (C++ Core Guidelines CP: prefer higher-level concurrency constructs over
 // raw thread management scattered through the code).
+//
+// Concurrency contract (audited under ThreadSanitizer; see
+// docs/STATIC_ANALYSIS.md):
+//  - All queue/stop state is guarded by one mutex; completion is observed
+//    through the futures returned by submit(), whose shared state provides
+//    the necessary release/acquire ordering.
+//  - parallel_for called from inside a worker thread (of any pool) runs the
+//    loop inline rather than re-submitting, so nested parallelism cannot
+//    deadlock a fully busy pool.
+//  - The global pool size honours the DSML_THREADS environment variable,
+//    which CI uses to force real concurrency on single-core runners.
 #pragma once
 
 #include <condition_variable>
@@ -16,12 +27,14 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace dsml {
 
 class ThreadPool {
  public:
-  /// Creates a pool with `threads` workers; 0 means hardware_concurrency
-  /// (minimum 1).
+  /// Creates a pool with `threads` workers; 0 means the DSML_THREADS
+  /// environment variable if set, else hardware_concurrency (minimum 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -30,7 +43,8 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task; returns a future for its completion.
+  /// Enqueue a task; returns a future for its completion. Throws StateError
+  /// if the pool is already shutting down.
   template <typename F>
   std::future<void> submit(F&& fn) {
     auto task = std::make_shared<std::packaged_task<void()>>(
@@ -38,13 +52,22 @@ class ThreadPool {
     std::future<void> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw StateError("ThreadPool::submit: pool is shutting down");
+      }
       queue_.emplace([task]() mutable { (*task)(); });
     }
     cv_.notify_one();
     return fut;
   }
 
-  /// Shared process-wide pool (lazily created).
+  /// True when the calling thread is a worker of any ThreadPool. Used by
+  /// parallel_for to degrade to an inline loop instead of deadlocking on a
+  /// pool whose workers are all blocked waiting for the nested loop.
+  static bool in_worker_thread() noexcept;
+
+  /// Shared process-wide pool (lazily created; sized per the constructor's
+  /// `threads == 0` rule).
   static ThreadPool& global();
 
  private:
@@ -57,9 +80,16 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Runs fn(i) for i in [begin, end) across the global pool, blocking until
-/// all iterations complete. Iterations are chunked to amortise dispatch.
+/// Runs fn(i) for i in [begin, end) across `pool`, blocking until all
+/// iterations complete. Iterations are chunked to amortise dispatch.
 /// Exceptions thrown by fn propagate to the caller (first one wins).
+/// Runs inline when the pool has a single worker, the range is trivial, or
+/// the caller is itself a pool worker (nested parallelism).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 0);
+
+/// parallel_for over the global pool.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 0);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "data/split.hpp"
 #include "ml/metrics.hpp"
 
@@ -39,17 +40,22 @@ SelectModel::SelectModel(std::vector<NamedModel> candidates,
 }
 
 void SelectModel::fit(const data::Dataset& train) {
-  estimates_.clear();
-  estimates_.reserve(candidates_.size());
-  double best = std::numeric_limits<double>::infinity();
-  std::size_t best_idx = 0;
-  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+  // Candidates are scored in parallel: each evaluation owns its models and
+  // its Rng (seeded per candidate, so results are identical to the serial
+  // order), and writes only its own estimates_ slot. The winner is picked
+  // serially afterwards to keep tie-breaking deterministic.
+  estimates_.assign(candidates_.size(), ErrorEstimate{});
+  parallel_for(0, candidates_.size(), [&](std::size_t i) {
     ValidationOptions opts = options_;
     opts.seed = options_.seed + i;  // folds differ per candidate, as when
                                     // each model is evaluated independently
-    estimates_.push_back(estimate_error(candidates_[i].make, train, opts));
-    if (estimates_.back().maximum < best) {
-      best = estimates_.back().maximum;
+    estimates_[i] = estimate_error(candidates_[i].make, train, opts);
+  });
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < estimates_.size(); ++i) {
+    if (estimates_[i].maximum < best) {
+      best = estimates_[i].maximum;
       best_idx = i;
     }
   }

@@ -1,0 +1,13 @@
+// Fixture: every violation here carries a suppression, so the file is clean.
+#include <cstdlib>
+
+int sanctioned_rand() {
+  return std::rand();  // dsml-lint: allow(rand-source)
+}
+
+int sanctioned_new() {
+  int* p = new int(7);  // dsml-lint: allow(naked-new)
+  const int v = *p;
+  delete p;  // dsml-lint: allow(naked-new)
+  return v;
+}

@@ -1,0 +1,4 @@
+// Fixture: an allow() directive naming a rule that does not exist.
+int harmless() {
+  return 1;  // dsml-lint: allow(no-such-rule)
+}

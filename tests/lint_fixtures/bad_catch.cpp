@@ -1,0 +1,11 @@
+// Fixture: catch-all-swallow violation (exception silently dropped).
+void risky();
+
+int shield() {
+  try {
+    risky();
+  } catch (...) {
+    return -1;
+  }
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Fixture: header-guard violation (#ifndef guard instead of #pragma once).
+#ifndef DSML_TESTS_LINT_FIXTURES_BAD_HEADER_HPP_
+#define DSML_TESTS_LINT_FIXTURES_BAD_HEADER_HPP_
+
+int fixture_value();
+
+#endif  // DSML_TESTS_LINT_FIXTURES_BAD_HEADER_HPP_

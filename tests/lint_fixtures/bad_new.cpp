@@ -1,0 +1,7 @@
+// Fixture: naked-new violations.
+int leak() {
+  int* p = new int(42);
+  const int v = *p;
+  delete p;
+  return v;
+}

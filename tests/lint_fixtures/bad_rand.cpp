@@ -1,0 +1,8 @@
+// Fixture: rand-source violations.
+#include <cstdlib>
+#include <random>
+
+int noise() {
+  std::mt19937 gen;
+  return static_cast<int>(gen()) + std::rand();
+}

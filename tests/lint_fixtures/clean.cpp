@@ -1,0 +1,11 @@
+// Fixture: a fully clean translation unit.
+#include <memory>
+#include <vector>
+
+int tidy() {
+  auto owned = std::make_unique<int>(3);
+  std::vector<int> values = {1, 2, *owned};
+  int total = 0;
+  for (int v : values) total += v;
+  return total;
+}

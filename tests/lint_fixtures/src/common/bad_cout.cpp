@@ -1,0 +1,4 @@
+// Fixture: iostream-in-lib violation (console output from library code).
+#include <iostream>
+
+void report(int value) { std::cout << "value = " << value << "\n"; }

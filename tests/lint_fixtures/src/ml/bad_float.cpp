@@ -1,0 +1,6 @@
+// Fixture: float-accum violation (float accumulation in ml code).
+double sum(const double* values, int n) {
+  float total = 0.0f;
+  for (int i = 0; i < n; ++i) total += static_cast<float>(values[i]);
+  return total;
+}

@@ -51,6 +51,18 @@ TEST_F(CliTest, HelpSucceeds) {
   EXPECT_NE(result.out.find("commands:"), std::string::npos);
 }
 
+TEST_F(CliTest, LintSubcommandListsRules) {
+  const auto result = run_cli({"lint", "--list-rules"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("rand-source"), std::string::npos);
+  EXPECT_NE(result.out.find("naked-new"), std::string::npos);
+}
+
+TEST_F(CliTest, LintSubcommandRejectsMissingPath) {
+  const auto result = run_cli({"lint", "/no/such/dsml/path"});
+  EXPECT_EQ(result.exit_code, 2);
+}
+
 TEST_F(CliTest, UnknownCommandFails) {
   const auto result = run_cli({"frobnicate"});
   EXPECT_EQ(result.exit_code, 1);

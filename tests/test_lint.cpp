@@ -1,0 +1,213 @@
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dsml::lint {
+namespace {
+
+const std::string kFixtures = DSML_LINT_FIXTURE_DIR;
+
+bool has_rule(const std::vector<Diagnostic>& diagnostics,
+              const std::string& rule) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+int run_paths(const std::vector<std::string>& args, std::string* output) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run(args, out, err);
+  if (output) *output = out.str() + err.str();
+  return code;
+}
+
+// --- Rule hits on fixture files (each must fail with its rule id) ----------
+
+TEST(LintFixtures, RandSource) {
+  const auto d = lint_file(kFixtures + "/bad_rand.cpp");
+  EXPECT_TRUE(has_rule(d, "rand-source"));
+  std::string text;
+  EXPECT_EQ(run_paths({kFixtures + "/bad_rand.cpp"}, &text), 1);
+  EXPECT_NE(text.find("rand-source"), std::string::npos);
+}
+
+TEST(LintFixtures, FloatAccumScopedToMlAndLinalg) {
+  const auto d = lint_file(kFixtures + "/src/ml/bad_float.cpp");
+  EXPECT_TRUE(has_rule(d, "float-accum"));
+  EXPECT_EQ(run_paths({kFixtures + "/src/ml/bad_float.cpp"}, nullptr), 1);
+}
+
+TEST(LintFixtures, IostreamInLib) {
+  const auto d = lint_file(kFixtures + "/src/common/bad_cout.cpp");
+  EXPECT_TRUE(has_rule(d, "iostream-in-lib"));
+  EXPECT_EQ(run_paths({kFixtures + "/src/common/bad_cout.cpp"}, nullptr), 1);
+}
+
+TEST(LintFixtures, CatchAllSwallow) {
+  const auto d = lint_file(kFixtures + "/bad_catch.cpp");
+  EXPECT_TRUE(has_rule(d, "catch-all-swallow"));
+  EXPECT_EQ(run_paths({kFixtures + "/bad_catch.cpp"}, nullptr), 1);
+}
+
+TEST(LintFixtures, HeaderGuard) {
+  const auto d = lint_file(kFixtures + "/bad_header.hpp");
+  EXPECT_TRUE(has_rule(d, "header-guard"));
+  EXPECT_EQ(run_paths({kFixtures + "/bad_header.hpp"}, nullptr), 1);
+}
+
+TEST(LintFixtures, NakedNew) {
+  const auto d = lint_file(kFixtures + "/bad_new.cpp");
+  EXPECT_TRUE(has_rule(d, "naked-new"));
+  // Both the new and the delete line are flagged.
+  EXPECT_GE(std::count_if(d.begin(), d.end(),
+                          [](const Diagnostic& x) {
+                            return x.rule == "naked-new";
+                          }),
+            2);
+}
+
+TEST(LintFixtures, UnknownAllowIsFlagged) {
+  const auto d = lint_file(kFixtures + "/bad_allow.cpp");
+  EXPECT_TRUE(has_rule(d, "unknown-allow"));
+}
+
+// --- Suppression and clean exit --------------------------------------------
+
+TEST(LintFixtures, AllowDirectiveSuppresses) {
+  const auto d = lint_file(kFixtures + "/allowed.cpp");
+  EXPECT_TRUE(d.empty()) << (d.empty() ? std::string() : d.front().rule);
+  EXPECT_EQ(run_paths({kFixtures + "/allowed.cpp"}, nullptr), 0);
+}
+
+TEST(LintFixtures, CleanFileExitsZero) {
+  EXPECT_TRUE(lint_file(kFixtures + "/clean.cpp").empty());
+  std::string text;
+  EXPECT_EQ(run_paths({kFixtures + "/clean.cpp"}, &text), 0);
+  EXPECT_TRUE(text.empty());
+}
+
+TEST(LintCli, MissingPathExitsTwo) {
+  EXPECT_EQ(run_paths({kFixtures + "/no_such_file.cpp"}, nullptr), 2);
+}
+
+TEST(LintCli, UnknownOptionExitsTwo) {
+  EXPECT_EQ(run_paths({"--bogus"}, nullptr), 2);
+}
+
+TEST(LintCli, ListRulesShowsCatalogue) {
+  std::string text;
+  EXPECT_EQ(run_paths({"--list-rules"}, &text), 0);
+  for (const auto& rule : rule_catalogue()) {
+    EXPECT_NE(text.find(rule.id), std::string::npos) << rule.id;
+  }
+}
+
+TEST(LintCli, WalkingFixtureDirectoryFindsEveryRule) {
+  std::string text;
+  EXPECT_EQ(run_paths({kFixtures}, &text), 1);
+  for (const char* rule :
+       {"rand-source", "float-accum", "iostream-in-lib", "catch-all-swallow",
+        "header-guard", "naked-new", "unknown-allow"}) {
+    EXPECT_NE(text.find(rule), std::string::npos) << rule;
+  }
+}
+
+// --- lint_source scoping (synthetic paths, no files needed) ----------------
+
+TEST(LintSource, FloatAllowedOutsideNumericCode) {
+  const std::string source = "float fast_path(float x) { return x; }\n";
+  EXPECT_TRUE(has_rule(lint_source("src/linalg/kernel.cpp", source),
+                       "float-accum"));
+  EXPECT_FALSE(has_rule(lint_source("src/sim/cache.cpp", source),
+                        "float-accum"));
+  EXPECT_FALSE(has_rule(lint_source("bench/bench_util.cpp", source),
+                        "float-accum"));
+}
+
+TEST(LintSource, CoutAllowedOutsideLibrary) {
+  const std::string source =
+      "#include <iostream>\nvoid f() { std::cout << 1; }\n";
+  EXPECT_TRUE(has_rule(lint_source("src/dse/sweep.cpp", source),
+                       "iostream-in-lib"));
+  EXPECT_FALSE(has_rule(lint_source("tools/main.cpp", source),
+                        "iostream-in-lib"));
+  EXPECT_FALSE(has_rule(lint_source("src/common/table.hpp", source),
+                        "iostream-in-lib"));
+}
+
+TEST(LintSource, RngHeaderIsTheOneSanctionedRandomnessSource) {
+  const std::string source = "#pragma once\ninline int x = 1;\n";
+  const std::string noisy = "#pragma once\n#include <random>\n"
+                            "inline std::mt19937 gen;\n";
+  EXPECT_FALSE(has_rule(lint_source("src/common/rng.hpp", noisy),
+                        "rand-source"));
+  EXPECT_TRUE(has_rule(lint_source("src/common/other.hpp", noisy),
+                       "rand-source"));
+  EXPECT_FALSE(has_rule(lint_source("src/common/other.hpp", source),
+                        "rand-source"));
+}
+
+TEST(LintSource, CommentsAndStringsDoNotTrigger) {
+  const std::string source =
+      "#pragma once\n"
+      "// calling std::rand() here would be a bug\n"
+      "/* so would new int or delete p */\n"
+      "inline const char* kDoc = \"std::cout << new int\";\n";
+  EXPECT_TRUE(lint_source("src/common/doc.hpp", source).empty());
+}
+
+TEST(LintSource, CatchAllThatRethrowsIsFine) {
+  const std::string source =
+      "void f() {\n"
+      "  try { g(); } catch (...) {\n"
+      "    cleanup();\n"
+      "    throw;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/common/x.cpp", source),
+                        "catch-all-swallow"));
+}
+
+TEST(LintSource, CatchAllCapturingCurrentExceptionIsFine) {
+  const std::string source =
+      "void f(std::exception_ptr& e) {\n"
+      "  try { g(); } catch (...) { e = std::current_exception(); }\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/common/x.cpp", source),
+                        "catch-all-swallow"));
+}
+
+TEST(LintSource, DeletedSpecialMembersAreNotNakedDelete) {
+  const std::string source =
+      "#pragma once\n"
+      "struct NoCopy {\n"
+      "  NoCopy(const NoCopy&) = delete;\n"
+      "  NoCopy& operator=(const NoCopy&) = delete;\n"
+      "};\n";
+  EXPECT_TRUE(lint_source("src/common/nocopy.hpp", source).empty());
+}
+
+TEST(LintSource, DiagnosticsCarryFileAndLine) {
+  const std::string source = "void f() { int* p = new int(1); use(p); }\n";
+  const auto d = lint_source("src/common/x.cpp", source);
+  ASSERT_FALSE(d.empty());
+  EXPECT_EQ(d.front().file, "src/common/x.cpp");
+  EXPECT_EQ(d.front().line, 1u);
+}
+
+TEST(LintSource, MultiRuleAllowList) {
+  const std::string source =
+      "void f() { delete make(); }  "
+      "// dsml-lint: allow(naked-new, catch-all-swallow)\n";
+  EXPECT_TRUE(lint_source("src/common/x.cpp", source).empty());
+}
+
+}  // namespace
+}  // namespace dsml::lint

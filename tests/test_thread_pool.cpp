@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace dsml {
@@ -73,6 +75,106 @@ TEST(ParallelFor, CustomGrain) {
   std::vector<std::atomic<int>> hits(64);
   parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; }, 7);
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ExplicitPoolOverload) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(pool, 0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HonoursDsmlThreadsEnv) {
+  ASSERT_EQ(setenv("DSML_THREADS", "3", /*overwrite=*/1), 0);
+  ThreadPool pool(0);
+  unsetenv("DSML_THREADS");
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+// --- Stress tests (run under the tsan ctest label) -------------------------
+
+TEST(ThreadPoolStress, ManyShortTasksFromConcurrentSubmitters) {
+  ThreadPool pool(4);
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 250;
+  std::atomic<int> executed{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasksEach);
+      for (int i = 0; i < kTasksEach; ++i) {
+        futures.push_back(pool.submit([&] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        }));
+      }
+      for (auto& f : futures) f.wait();
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolStress, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] {
+      if (i % 3 == 0) throw std::runtime_error("task failure");
+    }));
+  }
+  int failures = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::runtime_error&) {
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 34);  // i = 0, 3, ..., 99
+}
+
+TEST(ThreadPoolStress, ConcurrentParallelForCallers) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(2000);
+  std::vector<std::atomic<int>> b(2000);
+  std::thread ta([&] {
+    parallel_for(pool, 0, a.size(), [&](std::size_t i) { ++a[i]; });
+  });
+  std::thread tb([&] {
+    parallel_for(pool, 0, b.size(), [&](std::size_t i) { ++b[i]; });
+  });
+  ta.join();
+  tb.join();
+  for (const auto& h : a) EXPECT_EQ(h.load(), 1);
+  for (const auto& h : b) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolStress, NestedParallelForCompletesInline) {
+  // Nested calls must degrade to inline loops instead of deadlocking a
+  // fully occupied pool.
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  parallel_for(pool, 0, 8, [&](std::size_t) {
+    parallel_for(pool, 0, 8, [&](std::size_t) {
+      leaf.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(leaf.load(), 64);
+}
+
+TEST(ThreadPoolStress, ExceptionInOneChunkDoesNotBlockOthers) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  EXPECT_THROW(
+      parallel_for(pool, 0, 1000,
+                   [&](std::size_t i) {
+                     visited.fetch_add(1, std::memory_order_relaxed);
+                     if (i == 500) throw std::logic_error("mid-loop");
+                   }),
+      std::logic_error);
+  EXPECT_GT(visited.load(), 0);
 }
 
 }  // namespace

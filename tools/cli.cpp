@@ -13,6 +13,7 @@
 #include "dse/chronological.hpp"
 #include "dse/sampled.hpp"
 #include "dse/sweep.hpp"
+#include "lint/lint.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/serialize.hpp"
@@ -240,7 +241,8 @@ std::string usage() {
       "  sampled --app A [--rates R1,R2] [--models M1,M2]\n"
       "  chrono  --family F [--target int|fp|app:<i>] [--models M1,M2]\n"
       "  train   --app A --rate R --model M --out F [--seed S]\n"
-      "  predict --model F [--top N]\n";
+      "  predict --model F [--top N]\n"
+      "  lint    [--list-rules] [path...]   run the dsml-lint static checker\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -250,8 +252,13 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     return args.empty() ? 1 : 0;
   }
   try {
-    const Options opt = parse_options(args, 1);
     const std::string& cmd = args[0];
+    if (cmd == "lint") {
+      // Forwarded verbatim: lint has its own option grammar (bare paths and
+      // flag-style options with no values).
+      return lint::run({args.begin() + 1, args.end()}, out, err);
+    }
+    const Options opt = parse_options(args, 1);
     if (cmd == "list") return cmd_list(out);
     if (cmd == "sweep") return cmd_sweep(opt, out);
     if (cmd == "sampled") return cmd_sampled(opt, out);

@@ -1,0 +1,493 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <regex>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace dsml::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source model: the file split into lines, with a parallel "code view" in
+// which comments and string/character-literal contents are blanked out, plus
+// the per-line set of rules suppressed via inline allow directives.
+// ---------------------------------------------------------------------------
+
+struct SourceModel {
+  std::vector<std::string> code;     // comments/strings blanked
+  std::vector<std::string> comment;  // comment text only (for directives)
+};
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// Strips comments and literal contents. A hand-rolled scanner (rather than
+/// a regex) because block comments, raw strings, and escapes all span
+/// arbitrary spans of text and interact.
+SourceModel build_model(const std::string& content) {
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  SourceModel model;
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the `)delim"` terminator
+
+  for (const std::string& line : split_lines(content)) {
+    std::string code(line.size(), ' ');
+    std::string comment;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      switch (state) {
+        case State::kCode: {
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            comment.append(line.substr(i + 2));
+            i = line.size();
+            continue;
+          }
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            state = State::kBlockComment;
+            i += 2;
+            continue;
+          }
+          if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+              (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                              line[i - 1])) &&
+                          line[i - 1] != '_'))) {
+            const std::size_t open = line.find('(', i + 2);
+            if (open != std::string::npos) {
+              // Built with append() rather than operator+ to dodge a GCC 12
+              // -Wrestrict false positive on substr concatenation.
+              raw_delim.assign(1, ')');
+              raw_delim.append(line, i + 2, open - i - 2);
+              raw_delim.push_back('"');
+              code[i] = 'R';
+              code[i + 1] = '"';
+              state = State::kRawString;
+              i = open + 1;
+              continue;
+            }
+          }
+          if (c == '"') {
+            code[i] = '"';
+            state = State::kString;
+            ++i;
+            continue;
+          }
+          if (c == '\'') {
+            code[i] = '\'';
+            state = State::kChar;
+            ++i;
+            continue;
+          }
+          code[i] = c;
+          ++i;
+          break;
+        }
+        case State::kBlockComment: {
+          if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+            state = State::kCode;
+            i += 2;
+          } else {
+            comment.push_back(c);
+            ++i;
+          }
+          break;
+        }
+        case State::kString:
+        case State::kChar: {
+          if (c == '\\') {
+            i += 2;  // skip the escaped character
+          } else if ((state == State::kString && c == '"') ||
+                     (state == State::kChar && c == '\'')) {
+            code[i] = c;
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        }
+        case State::kRawString: {
+          const std::size_t close = line.find(raw_delim, i);
+          if (close == std::string::npos) {
+            i = line.size();
+          } else {
+            code[close + raw_delim.size() - 1] = '"';
+            state = State::kCode;
+            i = close + raw_delim.size();
+          }
+          break;
+        }
+      }
+    }
+    // A // comment or an unterminated string ends with the line.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    model.code.push_back(std::move(code));
+    model.comment.push_back(std::move(comment));
+  }
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+std::string normalize(const std::string& path) {
+  std::string out = path;
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool path_has_dir(const std::string& normalized, const std::string& dir) {
+  return normalized.rfind(dir + "/", 0) == 0 ||
+         normalized.find("/" + dir + "/") != std::string::npos;
+}
+
+bool path_ends_with(const std::string& normalized, const std::string& tail) {
+  return normalized.size() >= tail.size() &&
+         normalized.compare(normalized.size() - tail.size(), tail.size(),
+                            tail) == 0;
+}
+
+bool is_header(const std::string& normalized) {
+  return path_ends_with(normalized, ".hpp") ||
+         path_ends_with(normalized, ".h");
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives
+// ---------------------------------------------------------------------------
+
+/// Rules suppressed on each line, plus diagnostics for unknown rule names in
+/// allow() lists (a typo would otherwise disable a check silently).
+struct Suppressions {
+  std::vector<std::unordered_set<std::string>> allowed;  // per line
+  std::vector<Diagnostic> unknown;
+};
+
+Suppressions parse_suppressions(const std::string& file,
+                                const SourceModel& model) {
+  static const std::regex kAllow(R"(dsml-lint:\s*allow\(([^)]*)\))");
+  Suppressions sup;
+  sup.allowed.resize(model.comment.size());
+  for (std::size_t i = 0; i < model.comment.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(model.comment[i], m, kAllow)) continue;
+    std::istringstream list(m[1].str());
+    std::string id;
+    while (std::getline(list, id, ',')) {
+      const auto begin = id.find_first_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      const auto end = id.find_last_not_of(" \t");
+      id = id.substr(begin, end - begin + 1);
+      if (is_known_rule(id)) {
+        sup.allowed[i].insert(id);
+      } else {
+        sup.unknown.push_back({file, i + 1, "unknown-allow",
+                               "allow() names unknown rule '" + id + "'"});
+      }
+    }
+  }
+  return sup;
+}
+
+// ---------------------------------------------------------------------------
+// Individual rules. Each takes the code view and appends diagnostics.
+// ---------------------------------------------------------------------------
+
+void scan_lines(const std::string& file, const SourceModel& model,
+                const std::regex& pattern, const std::string& rule,
+                const std::string& message, std::vector<Diagnostic>* out) {
+  for (std::size_t i = 0; i < model.code.size(); ++i) {
+    if (std::regex_search(model.code[i], pattern)) {
+      out->push_back({file, i + 1, rule, message});
+    }
+  }
+}
+
+void rule_rand_source(const std::string& file, const std::string& normalized,
+                      const SourceModel& model,
+                      std::vector<Diagnostic>* out) {
+  if (path_ends_with(normalized, "common/rng.hpp")) return;
+  static const std::regex kPattern(
+      R"(\bstd::rand\b|\bsrand\s*\(|\brand\s*\(|\bmt19937(_64)?\b|\brandom_device\b)");
+  scan_lines(file, model, kPattern, "rand-source",
+             "non-deterministic or non-dsml randomness; use dsml::Rng "
+             "(common/rng.hpp)",
+             out);
+}
+
+void rule_float_accum(const std::string& file, const std::string& normalized,
+                      const SourceModel& model,
+                      std::vector<Diagnostic>* out) {
+  if (!path_has_dir(normalized, "linalg") && !path_has_dir(normalized, "ml")) {
+    return;
+  }
+  if (!path_has_dir(normalized, "src")) return;
+  static const std::regex kPattern(R"(\bfloat\b)");
+  scan_lines(file, model, kPattern, "float-accum",
+             "float in linalg/ml code; numeric accumulation must stay double",
+             out);
+}
+
+void rule_iostream_in_lib(const std::string& file,
+                          const std::string& normalized,
+                          const SourceModel& model,
+                          std::vector<Diagnostic>* out) {
+  if (!path_has_dir(normalized, "src")) return;
+  if (path_ends_with(normalized, "error.hpp") ||
+      path_ends_with(normalized, "table.hpp")) {
+    return;
+  }
+  static const std::regex kPattern(
+      R"(\bstd::cout\b|\bstd::cerr\b|\bprintf\s*\(|\bfprintf\s*\(|\bputs\s*\()");
+  scan_lines(file, model, kPattern, "iostream-in-lib",
+             "direct console output in library code; take an std::ostream& "
+             "or report via exceptions",
+             out);
+}
+
+void rule_catch_all_swallow(const std::string& file, const SourceModel& model,
+                            std::vector<Diagnostic>* out) {
+  // Flatten the code view so `catch (...)` and its handler can span lines.
+  std::string flat;
+  std::vector<std::size_t> line_of;  // flat offset -> 0-based line
+  for (std::size_t i = 0; i < model.code.size(); ++i) {
+    for (char c : model.code[i]) {
+      flat.push_back(c);
+      line_of.push_back(i);
+    }
+    flat.push_back('\n');
+    line_of.push_back(i);
+  }
+  static const std::regex kCatchAll(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
+  for (auto it = std::sregex_iterator(flat.begin(), flat.end(), kCatchAll);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t catch_pos = static_cast<std::size_t>(it->position());
+    const std::size_t open = flat.find('{', catch_pos);
+    if (open == std::string::npos) continue;
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < flat.size(); ++close) {
+      if (flat[close] == '{') ++depth;
+      if (flat[close] == '}' && --depth == 0) break;
+    }
+    const std::string body = flat.substr(open, close - open + 1);
+    static const std::regex kHandles(R"(\bthrow\b|\bcurrent_exception\b)");
+    if (!std::regex_search(body, kHandles)) {
+      out->push_back({file, line_of[catch_pos] + 1, "catch-all-swallow",
+                      "catch (...) neither rethrows nor captures "
+                      "std::current_exception"});
+    }
+  }
+}
+
+void rule_header_guard(const std::string& file, const std::string& normalized,
+                       const SourceModel& model,
+                       std::vector<Diagnostic>* out) {
+  if (!is_header(normalized)) return;
+  for (const std::string& line : model.code) {
+    if (line.find("#pragma once") != std::string::npos) return;
+  }
+  out->push_back({file, 1, "header-guard",
+                  "header lacks #pragma once (the repo's guard convention)"});
+}
+
+void rule_naked_new(const std::string& file, const SourceModel& model,
+                    std::vector<Diagnostic>* out) {
+  static const std::regex kExempt(
+      R"(=\s*delete\b|\boperator\s+new\b|\boperator\s+delete\b)");
+  static const std::regex kNaked(R"(\bnew\b|\bdelete\b)");
+  for (std::size_t i = 0; i < model.code.size(); ++i) {
+    const std::string scrubbed =
+        std::regex_replace(model.code[i], kExempt, "");
+    if (std::regex_search(scrubbed, kNaked)) {
+      out->push_back({file, i + 1, "naked-new",
+                      "raw new/delete; use containers, make_unique or "
+                      "make_shared"});
+    }
+  }
+}
+
+bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool skipped_directory(const std::string& name) {
+  return name == "lint_fixtures" || name == "build" || name == ".git" ||
+         name == "third_party" || name == ".dsml_cache";
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> kRules = {
+      {"rand-source",
+       "randomness outside common/rng.hpp (std::rand, srand, mt19937, "
+       "random_device)"},
+      {"float-accum", "float in src/linalg or src/ml numeric code"},
+      {"iostream-in-lib",
+       "std::cout/std::cerr/printf in library code under src/"},
+      {"catch-all-swallow",
+       "catch (...) that neither rethrows nor captures the exception"},
+      {"header-guard", "header without #pragma once"},
+      {"naked-new", "raw new/delete expression"},
+      {"unknown-allow", "allow() directive naming an unknown rule"},
+  };
+  return kRules;
+}
+
+bool is_known_rule(const std::string& id) {
+  const auto& rules = rule_catalogue();
+  return std::any_of(rules.begin(), rules.end(),
+                     [&](const RuleInfo& r) { return r.id == id; });
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content) {
+  const std::string normalized = normalize(path);
+  const SourceModel model = build_model(content);
+  const Suppressions sup = parse_suppressions(path, model);
+
+  std::vector<Diagnostic> found;
+  rule_rand_source(path, normalized, model, &found);
+  rule_float_accum(path, normalized, model, &found);
+  rule_iostream_in_lib(path, normalized, model, &found);
+  rule_catch_all_swallow(path, model, &found);
+  rule_header_guard(path, normalized, model, &found);
+  rule_naked_new(path, model, &found);
+
+  std::vector<Diagnostic> kept;
+  for (auto& d : found) {
+    const std::size_t idx = d.line - 1;
+    if (idx < sup.allowed.size() && sup.allowed[idx].count(d.rule)) continue;
+    kept.push_back(std::move(d));
+  }
+  kept.insert(kept.end(), sup.unknown.begin(), sup.unknown.end());
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return kept;
+}
+
+std::vector<Diagnostic> lint_file(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    throw IoError("dsml-lint: cannot read '" + file.string() + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_source(file.generic_string(), buffer.str());
+}
+
+std::vector<Diagnostic> lint_paths(
+    const std::vector<std::filesystem::path>& paths) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& path : paths) {
+    if (std::filesystem::is_directory(path)) {
+      auto it = std::filesystem::recursive_directory_iterator(path);
+      for (auto end = std::filesystem::end(it); it != end; ++it) {
+        if (it->is_directory() &&
+            skipped_directory(it->path().filename().string())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lintable_extension(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (std::filesystem::exists(path)) {
+      files.push_back(path);
+    } else {
+      throw IoError("dsml-lint: no such file or directory '" + path.string() +
+                    "'");
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Diagnostic> all;
+  for (const auto& file : files) {
+    auto found = lint_file(file);
+    all.insert(all.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  return all;
+}
+
+void print_diagnostics(const std::vector<Diagnostic>& diagnostics,
+                       std::ostream& out) {
+  for (const auto& d : diagnostics) {
+    out << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
+        << "\n";
+  }
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& arg : args) {
+    if (arg == "--list-rules") {
+      for (const auto& rule : rule_catalogue()) {
+        out << rule.id << "  " << rule.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      out << "usage: dsml-lint [--list-rules] [path...]\n"
+             "lints .cpp/.hpp files; with no paths, scans src tools bench "
+             "tests examples\n"
+             "suppress a finding with: // dsml-lint: allow(<rule-id>)\n";
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      err << "dsml-lint: unknown option '" << arg << "'\n";
+      return 2;
+    }
+    paths.emplace_back(arg);
+  }
+  if (paths.empty()) {
+    for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
+      if (std::filesystem::is_directory(dir)) paths.emplace_back(dir);
+    }
+    if (paths.empty()) {
+      err << "dsml-lint: no default source directories found; pass paths\n";
+      return 2;
+    }
+  }
+  try {
+    const std::vector<Diagnostic> diagnostics = lint_paths(paths);
+    print_diagnostics(diagnostics, out);
+    if (!diagnostics.empty()) {
+      err << "dsml-lint: " << diagnostics.size() << " finding(s)\n";
+      return 1;
+    }
+    return 0;
+  } catch (const IoError& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace dsml::lint

@@ -1,0 +1,83 @@
+// dsml-lint — repo-specific static checker for the dsml tree.
+//
+// Generic linters cannot enforce the invariants this codebase depends on for
+// reproducible experiments (single RNG source, double-precision accumulation,
+// no stray output from library code, no swallowed exceptions, uniform header
+// guards, no manual memory management). dsml-lint walks the source tree and
+// enforces exactly those, emitting `file:line: [rule-id] message` diagnostics
+// and a nonzero exit code for CI.
+//
+// Rules (see docs/STATIC_ANALYSIS.md for the full catalogue):
+//   rand-source        non-dsml randomness (std::rand, srand, std::mt19937,
+//                      std::random_device) outside common/rng.hpp
+//   float-accum        `float` in linalg/ml sources, where accumulation must
+//                      stay double precision
+//   iostream-in-lib    std::cout/std::cerr/printf in library code under src/
+//                      (error.hpp and table.hpp excepted)
+//   catch-all-swallow  `catch (...)` whose handler neither rethrows nor
+//                      captures std::current_exception
+//   header-guard       headers must contain `#pragma once` (no #ifndef-style
+//                      guards as the primary mechanism)
+//   naked-new          raw `new`/`delete` expressions (use containers or
+//                      make_unique/make_shared)
+//
+// Any line can opt out with an inline suppression comment; run with
+// --help or see docs/STATIC_ANALYSIS.md for the exact directive syntax
+// (it is not spelled out here so the linter does not parse this header's
+// own documentation as a directive).
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsml::lint {
+
+/// One finding: file, 1-based line, rule id, human-readable message.
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Static description of a rule, for --list-rules and the docs.
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+/// The full rule catalogue, in diagnostic order.
+const std::vector<RuleInfo>& rule_catalogue();
+
+/// True if `id` names a known rule.
+bool is_known_rule(const std::string& id);
+
+/// Lints a single translation unit given as text. `path` determines which
+/// path-scoped rules apply (e.g. iostream-in-lib only fires under src/), so
+/// tests can pass synthetic paths like "src/fake.cpp".
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content);
+
+/// Reads and lints one file on disk. Throws dsml::IoError if unreadable.
+std::vector<Diagnostic> lint_file(const std::filesystem::path& file);
+
+/// Walks files and directories (recursively), linting every .cpp/.hpp file.
+/// Directories named `lint_fixtures`, `build`, `.git`, or `third_party` are
+/// skipped so deliberate rule-violation fixtures do not fail the tree scan.
+/// Explicitly listed files are always linted, even fixture files.
+std::vector<Diagnostic> lint_paths(
+    const std::vector<std::filesystem::path>& paths);
+
+/// Prints diagnostics in `file:line: [rule] message` form.
+void print_diagnostics(const std::vector<Diagnostic>& diagnostics,
+                       std::ostream& out);
+
+/// CLI entry point shared by the standalone dsml-lint binary and the
+/// `dsml lint` subcommand. Returns 0 when clean, 1 when findings exist,
+/// 2 on usage or I/O errors.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace dsml::lint

@@ -1,0 +1,11 @@
+// Standalone entry point for dsml-lint (also reachable as `dsml lint`).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return dsml::lint::run(args, std::cout, std::cerr);
+}
