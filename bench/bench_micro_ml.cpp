@@ -7,6 +7,8 @@
 // epoch budgets tuned for them).
 #include <benchmark/benchmark.h>
 
+#include "common/rng.hpp"
+#include "data/split.hpp"
 #include "ml/model_zoo.hpp"
 #include "specdata/generator.hpp"
 
@@ -59,6 +61,26 @@ void BM_PredictLinearRegression(benchmark::State& state) {
                           static_cast<std::int64_t>(train.n_rows()));
 }
 
+// The per-fold select_rows copies inside ml::estimate_error. Each fold
+// materializes a fit half and a holdout half; keeping those copies (rather
+// than teaching every model a row-index view) is justified by this number:
+// one split costs microseconds while the fold's model fit costs milliseconds
+// to seconds (see BM_Fit* above and the estimate_error.select_rows_copy
+// section of BENCH_ML.json / docs/PERFORMANCE.md).
+void BM_SelectRowsHalfSplit(benchmark::State& state) {
+  const data::Dataset& train = train_data();
+  Rng rng(7);
+  const auto halves = data::split_half(train.n_rows(), rng);
+  for (auto _ : state) {
+    auto fit_part = train.select_rows(halves.first);
+    auto holdout_part = train.select_rows(halves.second);
+    benchmark::DoNotOptimize(fit_part);
+    benchmark::DoNotOptimize(holdout_part);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(train.n_rows()));
+}
+
 void BM_PredictNeuralNetwork(benchmark::State& state) {
   const data::Dataset& train = train_data();
   auto model = ml::make_model("NN-S").make();
@@ -76,6 +98,7 @@ BENCHMARK(BM_FitLinearRegressionBackward)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FitNnSingle)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FitNnQuick)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FitNnExhaustivePrune)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectRowsHalfSplit)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PredictLinearRegression)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_PredictNeuralNetwork)->Unit(benchmark::kMicrosecond);
 

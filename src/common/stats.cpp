@@ -102,7 +102,17 @@ double range_ratio(std::span<const double> xs) {
 // Special functions
 // ---------------------------------------------------------------------------
 
-double log_gamma(double x) { return std::lgamma(x); }
+double log_gamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the global `signgam`, which is a data race when CDFs
+  // run on pool workers concurrently. lgamma_r computes the same value but
+  // reports the sign through the out-parameter instead.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 namespace {
 

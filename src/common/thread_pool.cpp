@@ -120,4 +120,26 @@ void parallel_for(std::size_t begin, std::size_t end,
   parallel_for(ThreadPool::global(), begin, end, fn, grain);
 }
 
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  DSML_REQUIRE(chunk > 0, "parallel_for_chunks: chunk must be > 0");
+  const std::size_t n_chunks = (end - begin + chunk - 1) / chunk;
+  parallel_for(
+      pool, 0, n_chunks,
+      [&](std::size_t c) {
+        const std::size_t chunk_begin = begin + c * chunk;
+        const std::size_t chunk_end = std::min(chunk_begin + chunk, end);
+        fn(chunk_begin, chunk_end);
+      },
+      /*grain=*/1);
+}
+
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for_chunks(ThreadPool::global(), begin, end, chunk, fn);
+}
+
 }  // namespace dsml

@@ -94,4 +94,18 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 0);
 
+/// Runs fn(chunk_begin, chunk_end) over [begin, end) split into chunks of at
+/// most `chunk` elements. The batched prediction paths use this so each call
+/// amortises per-chunk setup (workspace acquisition, layer scratch) over many
+/// rows instead of paying it per element. Same inline/nested semantics as
+/// parallel_for.
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// parallel_for_chunks over the global pool.
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
 }  // namespace dsml

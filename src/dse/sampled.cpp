@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "data/split.hpp"
 #include "ml/metrics.hpp"
 
@@ -38,11 +39,15 @@ SampledDseResult run_sampled_dse(const data::Dataset& full_space,
         full_space.n_rows(), rate, sample_rng, /*min_rows=*/10);
     const data::Dataset train = full_space.select_rows(sample_idx);
 
-    double best_estimate = std::numeric_limits<double>::infinity();
-    SelectRun select_row;
-    select_row.rate = rate;
-
-    for (const std::string& model_name : options.model_names) {
+    // Every model's evaluation (cross-validation estimate, fit on the
+    // sample, full-space prediction) is independent given the shared
+    // training sample, so the model loop fans out across the pool. Each
+    // iteration owns its models and seeds and writes only rate_runs[i];
+    // the Select reduction below stays serial so tie-breaking matches the
+    // historical menu order exactly.
+    std::vector<SampledRun> rate_runs(options.model_names.size());
+    parallel_for(0, options.model_names.size(), [&](std::size_t i) {
+      const std::string& model_name = options.model_names[i];
       const ml::NamedModel nm = ml::make_model(model_name, options.zoo);
 
       ml::ValidationOptions vopt;
@@ -69,14 +74,20 @@ SampledDseResult run_sampled_dse(const data::Dataset& full_space,
       run.estimated_error_avg = estimate.average;
       run.true_error = true_error;
       run.fit_seconds = fit_seconds;
-      result.runs.push_back(run);
+      rate_runs[i] = std::move(run);
+    });
 
-      if (estimate.maximum < best_estimate) {
-        best_estimate = estimate.maximum;
-        select_row.chosen_model = model_name;
-        select_row.estimated_error = estimate.maximum;
-        select_row.true_error = true_error;
+    double best_estimate = std::numeric_limits<double>::infinity();
+    SelectRun select_row;
+    select_row.rate = rate;
+    for (const SampledRun& run : rate_runs) {
+      if (run.estimated_error_max < best_estimate) {
+        best_estimate = run.estimated_error_max;
+        select_row.chosen_model = run.model;
+        select_row.estimated_error = run.estimated_error_max;
+        select_row.true_error = run.true_error;
       }
+      result.runs.push_back(run);
     }
     result.select.push_back(select_row);
   }

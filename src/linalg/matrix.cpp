@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.hpp"
+
 namespace dsml::linalg {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -33,37 +35,23 @@ double Matrix::at(std::size_t r, std::size_t c) const {
 
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) {
-      t(c, r) = (*this)(r, c);
-    }
-  }
+  kernels::transpose(data_.data(), cols_, rows_, cols_, t.data_.data(), rows_);
   return t;
 }
 
 Matrix Matrix::multiply(const Matrix& other) const {
   DSML_REQUIRE(cols_ == other.rows_, "Matrix::multiply: dimension mismatch");
   Matrix out(rows_, other.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      const auto brow = other.row(k);
-      const auto orow = out.row(i);
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        orow[j] += aik * brow[j];
-      }
-    }
-  }
+  kernels::gemm_accumulate(data_.data(), cols_, other.data_.data(),
+                           other.cols_, out.data_.data(), other.cols_, rows_,
+                           cols_, other.cols_);
   return out;
 }
 
 Vector Matrix::multiply(std::span<const double> v) const {
   DSML_REQUIRE(v.size() == cols_, "Matrix::multiply: vector size mismatch");
   Vector out(rows_, 0.0);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    out[i] = dot(row(i), v);
-  }
+  kernels::gemv(data_.data(), cols_, rows_, cols_, v.data(), out.data());
   return out;
 }
 

@@ -2,9 +2,9 @@
 //
 // Sized for the library's needs: regression design matrices of a few
 // thousand rows by a few dozen columns and MLP weight matrices of a few
-// hundred entries. Simplicity and correctness over BLAS-level tuning; the
-// hot loops are still written cache-friendly (row-major traversal, ikj
-// multiply).
+// hundred entries. The multiply/transpose entry points delegate to the
+// cache-blocked kernels in linalg/kernels.hpp, which are bit-identical to
+// the naive loops they replaced (see docs/PERFORMANCE.md for the argument).
 #pragma once
 
 #include <cstddef>

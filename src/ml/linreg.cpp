@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/kernels.hpp"
 
 namespace dsml::ml {
 
@@ -56,7 +58,9 @@ OlsFit fit_ols(const linalg::Matrix& x, std::span<const double> y,
   if (!qr.rank_deficient() && fit.dof > 0) {
     const linalg::Matrix cov_kernel = linalg::xtx_inverse_from_qr(qr);
     for (std::size_t j = 0; j < columns.size(); ++j) {
-      const double var = fit.sigma2 * cov_kernel(j, j);
+      // Diagonal-only read, once per fit.
+      const double var =
+          fit.sigma2 * cov_kernel(j, j);  // dsml-lint: allow(matrix-elem-in-loop)
       fit.std_errors[j] = var > 0.0 ? std::sqrt(var) : 0.0;
       if (fit.std_errors[j] > 0.0) {
         fit.t_stats[j] = fit.beta[j] / fit.std_errors[j];
@@ -99,12 +103,20 @@ void LinearRegression::fit(const data::Dataset& train) {
   const linalg::Matrix x = encoder_.encode(train);
   const std::vector<double> y = encoder_.encode_target(train);
 
-  // Per-column standard deviations for standardized betas.
-  train_x_sd_.assign(x.cols(), 0.0);
-  for (std::size_t j = 0; j < x.cols(); ++j) {
-    stats::RunningStats rs;
-    for (std::size_t i = 0; i < x.rows(); ++i) rs.add(x(i, j));
-    train_x_sd_[j] = rs.stddev();
+  // Per-column standard deviations for standardized betas. One row-major
+  // sweep with row spans rather than a per-column x(i, j) walk; each column's
+  // accumulator still sees its values in ascending-row order, so the
+  // resulting stddevs are bit-identical to the column-at-a-time version.
+  {
+    std::vector<stats::RunningStats> per_col(x.cols());
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const auto row = x.row(i);
+      for (std::size_t j = 0; j < x.cols(); ++j) per_col[j].add(row[j]);
+    }
+    train_x_sd_.assign(x.cols(), 0.0);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      train_x_sd_[j] = per_col[j].stddev();
+    }
   }
   {
     stats::RunningStats rs;
@@ -253,8 +265,18 @@ std::vector<double> LinearRegression::predict(
     const data::Dataset& dataset) const {
   DSML_REQUIRE(fit_.has_value(), "LinearRegression::predict: not fitted");
   const linalg::Matrix x = encoder_.encode(dataset);
-  const linalg::Matrix xs = x.select_columns(fit_->columns);
-  return xs.multiply(fit_->beta);
+  // Fused select-columns GEMV: identical summation order to the old
+  // select_columns(columns).multiply(beta) path, without materialising the
+  // column subset. Chunked over the pool for full-design-space batches.
+  std::vector<double> out(x.rows());
+  constexpr std::size_t kChunk = 512;
+  parallel_for_chunks(
+      0, x.rows(), kChunk, [&](std::size_t b, std::size_t e) {
+        linalg::kernels::gemv_columns(
+            x.row(b).data(), x.cols(), e - b, fit_->columns.data(),
+            fit_->columns.size(), fit_->beta.data(), out.data() + b);
+      });
+  return out;
 }
 
 std::string LinearRegression::name() const {

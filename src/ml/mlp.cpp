@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/kernels.hpp"
 
 namespace dsml::ml {
 
@@ -33,23 +35,13 @@ Mlp::Mlp(std::size_t n_inputs, std::vector<std::size_t> hidden, Rng& rng)
     const double r = 1.0 / std::sqrt(static_cast<double>(fan_in));
     for (std::size_t i = 0; i < fan_out; ++i) {
       for (std::size_t j = 0; j < fan_in; ++j) {
-        layer.w(i, j) = rng.uniform(-r, r);
+        // One-time construction, and the Rng draw order is load-bearing.
+        layer.w(i, j) = rng.uniform(-r, r);  // dsml-lint: allow(matrix-elem-in-loop)
       }
       layer.b[i] = rng.uniform(-r, r);
     }
     layers_.push_back(std::move(layer));
     fan_in = fan_out;
-  }
-  rebuild_workspace();
-}
-
-void Mlp::rebuild_workspace() {
-  scratch_activations_.assign(layers_.size() + 1, {});
-  scratch_activations_[0].assign(n_inputs_, 0.0);
-  scratch_deltas_.assign(layers_.size(), {});
-  for (std::size_t li = 0; li < layers_.size(); ++li) {
-    scratch_activations_[li + 1].assign(layers_[li].w.rows(), 0.0);
-    scratch_deltas_[li].assign(layers_[li].w.rows(), 0.0);
   }
 }
 
@@ -84,24 +76,75 @@ void Mlp::forward_pass(
   }
 }
 
+bool Mlp::all_inputs_enabled() const noexcept {
+  return std::all_of(input_enabled_.begin(), input_enabled_.end(),
+                     [](bool e) { return e; });
+}
+
+void Mlp::forward_block(const double* x, std::size_t ldx, std::size_t rows,
+                        double* out, linalg::Workspace& ws) const {
+  linalg::Workspace::Scope scope(ws);
+  const double* cur = x;
+  std::size_t ldcur = ldx;
+  if (!all_inputs_enabled()) {
+    // Mirror the scalar path's masking: a disabled feature reads as 0.0
+    // whatever the input holds (NaN included), not merely 0-weighted.
+    std::span<double> masked = ws.take(rows * n_inputs_);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* src = x + r * ldx;
+      double* dst = masked.data() + r * n_inputs_;
+      for (std::size_t j = 0; j < n_inputs_; ++j) {
+        dst[j] = input_enabled_[j] ? src[j] : 0.0;
+      }
+    }
+    cur = masked.data();
+    ldcur = n_inputs_;
+  }
+  std::size_t fan_in = n_inputs_;
+  for (const Layer& layer : layers_) {
+    const std::size_t fan_out = layer.w.rows();
+    std::span<double> next = ws.take(rows * fan_out);
+    linalg::kernels::affine_forward(cur, ldcur, rows, fan_in,
+                                    layer.w.data().data(), layer.b.data(),
+                                    fan_out, !layer.output, next.data(),
+                                    fan_out, ws);
+    cur = next.data();
+    ldcur = fan_out;
+    fan_in = fan_out;
+  }
+  // The output layer is a single linear unit, so the final activation block
+  // is one column: copy it out.
+  for (std::size_t r = 0; r < rows; ++r) out[r] = cur[r * ldcur];
+}
+
 double Mlp::predict(std::span<const double> x) const {
   DSML_REQUIRE(x.size() == n_inputs_, "Mlp::predict: input size mismatch");
-  forward_pass(x, scratch_activations_);
-  return scratch_activations_.back()[0];
+  double out = 0.0;
+  forward_block(x.data(), x.size(), 1, &out, linalg::tls_workspace());
+  return out;
 }
 
 std::vector<double> Mlp::predict(const linalg::Matrix& x) const {
   DSML_REQUIRE(x.cols() == n_inputs_, "Mlp::predict: input width mismatch");
   std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  // Chunks are dispatched across the pool; every chunk writes only its own
+  // out[b, e) slice and scratch is per worker thread, so the result is
+  // deterministic and identical to the serial row loop.
+  constexpr std::size_t kChunk = 256;
+  parallel_for_chunks(0, x.rows(), kChunk,
+                      [&](std::size_t b, std::size_t e) {
+                        forward_block(x.row(b).data(), x.cols(), e - b,
+                                      out.data() + b, linalg::tls_workspace());
+                      });
   return out;
 }
 
 double Mlp::mse(const linalg::Matrix& x, std::span<const double> y) const {
   DSML_REQUIRE(x.rows() == y.size() && !y.empty(), "Mlp::mse: size mismatch");
+  const std::vector<double> pred = predict(x);
   double ss = 0.0;
   for (std::size_t r = 0; r < x.rows(); ++r) {
-    const double d = predict(x.row(r)) - y[r];
+    const double d = pred[r] - y[r];
     ss += d * d;
   }
   return ss / static_cast<double>(y.size());
@@ -117,34 +160,52 @@ double Mlp::train_epoch(const linalg::Matrix& x, std::span<const double> y,
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng.shuffle(order);
 
+  // Per-call scratch: train_epoch owns its activation/delta buffers, so
+  // training one network never interferes with concurrent predictions on
+  // another (or the same) network.
+  std::vector<std::vector<double>> activations(layers_.size() + 1);
+  std::vector<std::vector<double>> deltas(layers_.size());
+  activations[0].assign(n_inputs_, 0.0);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    activations[li + 1].assign(layers_[li].w.rows(), 0.0);
+    deltas[li].assign(layers_[li].w.rows(), 0.0);
+  }
+
   double ss = 0.0;
   for (std::size_t sample : order) {
-    forward_pass(x.row(sample), scratch_activations_);
-    const double yhat = scratch_activations_.back()[0];
+    forward_pass(x.row(sample), activations);
+    const double yhat = activations.back()[0];
     const double err = yhat - y[sample];
     ss += err * err;
 
     // Output delta (linear activation): dL/dz = err.
-    scratch_deltas_.back()[0] = err;
-    // Hidden deltas, back to front.
+    deltas.back()[0] = err;
+    // Hidden deltas, back to front. The fan-out sums walk next.w row by row
+    // (contiguous spans) instead of down a column; per element the products
+    // still accumulate in ascending i, so the result is bit-identical to
+    // the column walk.
     for (std::size_t li = layers_.size() - 1; li-- > 0;) {
       const Layer& next = layers_[li + 1];
-      auto& delta = scratch_deltas_[li];
-      const auto& delta_next = scratch_deltas_[li + 1];
-      const auto& act = scratch_activations_[li + 1];
-      for (std::size_t j = 0; j < delta.size(); ++j) {
-        double s = 0.0;
-        for (std::size_t i = 0; i < next.w.rows(); ++i) {
-          s += next.w(i, j) * delta_next[i];
+      auto& delta = deltas[li];
+      const auto& delta_next = deltas[li + 1];
+      const auto& act = activations[li + 1];
+      std::fill(delta.begin(), delta.end(), 0.0);
+      for (std::size_t i = 0; i < next.w.rows(); ++i) {
+        const double dn = delta_next[i];
+        const auto wrow = next.w.row(i);
+        for (std::size_t j = 0; j < delta.size(); ++j) {
+          delta[j] += wrow[j] * dn;
         }
-        delta[j] = s * act[j] * (1.0 - act[j]);  // sigmoid'
+      }
+      for (std::size_t j = 0; j < delta.size(); ++j) {
+        delta[j] = delta[j] * act[j] * (1.0 - act[j]);  // sigmoid'
       }
     }
     // Weight updates with momentum.
     for (std::size_t li = 0; li < layers_.size(); ++li) {
       Layer& layer = layers_[li];
-      const auto& in = scratch_activations_[li];
-      const auto& delta = scratch_deltas_[li];
+      const auto& in = activations[li];
+      const auto& delta = deltas[li];
       for (std::size_t i = 0; i < layer.w.rows(); ++i) {
         const double di = delta[i];
         auto wrow = layer.w.row(i);
@@ -172,7 +233,8 @@ double Mlp::hidden_unit_saliency(std::size_t layer, std::size_t unit) const {
   const Layer& next = layers_[layer + 1];
   double s = 0.0;
   for (std::size_t i = 0; i < next.w.rows(); ++i) {
-    s += std::abs(next.w(i, unit));
+    // Cold pruning heuristic, one column.
+    s += std::abs(next.w(i, unit));  // dsml-lint: allow(matrix-elem-in-loop)
   }
   return s;
 }
@@ -183,7 +245,8 @@ double Mlp::input_saliency(std::size_t input) const {
   const Layer& first = layers_.front();
   double s = 0.0;
   for (std::size_t i = 0; i < first.w.rows(); ++i) {
-    s += std::abs(first.w(i, input));
+    // Cold pruning heuristic, one column.
+    s += std::abs(first.w(i, input));  // dsml-lint: allow(matrix-elem-in-loop)
   }
   return s;
 }
@@ -212,7 +275,8 @@ void Mlp::remove_hidden_unit(std::size_t layer, std::size_t unit) {
       std::size_t dst = 0;
       for (std::size_t c = 0; c < m.cols(); ++c) {
         if (c == col) continue;
-        out(r, dst++) = m(r, c);
+        // Cold network surgery.
+        out(r, dst++) = m(r, c);  // dsml-lint: allow(matrix-elem-in-loop)
       }
     }
     m = std::move(out);
@@ -230,7 +294,6 @@ void Mlp::remove_hidden_unit(std::size_t layer, std::size_t unit) {
   drop_col(next.w_vel, unit);
 
   --hidden_sizes_[layer];
-  rebuild_workspace();
 }
 
 void Mlp::add_hidden_unit(std::size_t layer, Rng& rng) {
@@ -259,12 +322,13 @@ void Mlp::add_hidden_unit(std::size_t layer, Rng& rng) {
   append_row(cur.w_vel, 0.0);
   const double r_in = 1.0 / std::sqrt(static_cast<double>(fan_in));
   const std::size_t new_row = cur.w.rows() - 1;
+  // Cold network surgery: one fresh row, Rng draw order load-bearing.
   for (std::size_t j = 0; j < fan_in; ++j) {
-    cur.w(new_row, j) = rng.uniform(-r_in, r_in);
+    cur.w(new_row, j) = rng.uniform(-r_in, r_in);  // dsml-lint: allow(matrix-elem-in-loop)
     // Respect disabled inputs in the first layer.
     if (layer == 0 && !input_enabled_[j]) {
-      cur.w(new_row, j) = 0.0;
-      cur.w_mask(new_row, j) = 0.0;
+      cur.w(new_row, j) = 0.0;  // dsml-lint: allow(matrix-elem-in-loop)
+      cur.w_mask(new_row, j) = 0.0;  // dsml-lint: allow(matrix-elem-in-loop)
     }
   }
   cur.b.push_back(rng.uniform(-r_in, r_in));
@@ -281,17 +345,17 @@ void Mlp::add_hidden_unit(std::size_t layer, Rng& rng) {
   }
 
   ++hidden_sizes_[layer];
-  rebuild_workspace();
 }
 
 void Mlp::disable_input(std::size_t input) {
   DSML_REQUIRE(input < n_inputs_, "disable_input: input out of range");
   input_enabled_[input] = false;
   Layer& first = layers_.front();
+  // Cold: zeroes one column when pruning disables a feature.
   for (std::size_t i = 0; i < first.w.rows(); ++i) {
-    first.w(i, input) = 0.0;
-    first.w_mask(i, input) = 0.0;
-    first.w_vel(i, input) = 0.0;
+    first.w(i, input) = 0.0;  // dsml-lint: allow(matrix-elem-in-loop)
+    first.w_mask(i, input) = 0.0;  // dsml-lint: allow(matrix-elem-in-loop)
+    first.w_vel(i, input) = 0.0;  // dsml-lint: allow(matrix-elem-in-loop)
   }
 }
 
@@ -369,7 +433,6 @@ Mlp Mlp::load(serial::Reader& reader) {
   DSML_REQUIRE(!net.layers_.empty() &&
                    net.layers_.front().w.cols() == net.n_inputs_,
                "Mlp::load: input width mismatch");
-  net.rebuild_workspace();
   return net;
 }
 

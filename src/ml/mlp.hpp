@@ -11,6 +11,11 @@
 // The prune-based regimes need structural surgery, so the network supports
 // removing hidden units, disabling input features, and magnitude-based
 // weight pruning with frozen masks.
+//
+// Prediction is const and thread-safe: forward passes draw scratch from the
+// calling thread's linalg::Workspace instead of shared members, and the
+// batched predict(Matrix) runs layer-wise blocked kernels over row chunks
+// dispatched across the global thread pool.
 #pragma once
 
 #include <cstddef>
@@ -19,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "common/serial.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 
 namespace dsml::ml {
@@ -37,13 +43,19 @@ class Mlp {
   /// Number of trainable (non-masked) weights, biases included.
   std::size_t parameter_count() const noexcept;
 
-  /// Forward pass; x.size() must equal n_inputs().
+  /// Forward pass; x.size() must equal n_inputs(). Thread-safe: scratch
+  /// comes from the calling thread's workspace, so concurrent predict calls
+  /// on one trained network never share state.
   double predict(std::span<const double> x) const;
 
-  /// Batch prediction over the rows of a matrix.
+  /// Batch prediction over the rows of a matrix: layer-wise matrix-matrix
+  /// kernels over row chunks, parallelized across the global thread pool
+  /// with per-thread scratch. Bit-identical to calling predict() per row
+  /// (same per-element addition order; see linalg/kernels.hpp).
   std::vector<double> predict(const linalg::Matrix& x) const;
 
-  /// Mean squared error over a batch.
+  /// Mean squared error over a batch (batched forward, serial reduction in
+  /// row order — bit-identical to the per-row formulation).
   double mse(const linalg::Matrix& x, std::span<const double> y) const;
 
   /// One epoch of online backprop over (x, y) in a random order; returns the
@@ -98,15 +110,20 @@ class Mlp {
 
   void forward_pass(std::span<const double> x,
                     std::vector<std::vector<double>>& activations) const;
-  void rebuild_workspace();
+
+  /// Batched forward over `rows` consecutive input rows (row-major, leading
+  /// dimension ldx) writing one prediction per row into out[0..rows).
+  /// Scratch comes from `ws`; safe to call concurrently with distinct
+  /// workspaces.
+  void forward_block(const double* x, std::size_t ldx, std::size_t rows,
+                     double* out, linalg::Workspace& ws) const;
+
+  bool all_inputs_enabled() const noexcept;
 
   std::size_t n_inputs_ = 0;
   std::vector<std::size_t> hidden_sizes_;
   std::vector<Layer> layers_;
   std::vector<bool> input_enabled_;
-  // scratch (mutable so predict() stays const and allocation-free)
-  mutable std::vector<std::vector<double>> scratch_activations_;
-  std::vector<std::vector<double>> scratch_deltas_;
 };
 
 }  // namespace dsml::ml

@@ -217,7 +217,9 @@ NeuralRegressor::Candidate NeuralRegressor::run_prune(
       for (std::size_t l = 0; l < current.hidden_sizes().size(); ++l) {
         if (current.hidden_sizes()[l] <= 1) continue;
         for (std::size_t u = 0; u < current.hidden_sizes()[l]; ++u) {
-          const double s = current.hidden_unit_saliency(l, u);
+          // Saliency lookup, not a Matrix element walk; the rule's
+          // two-index heuristic cannot tell them apart.
+          const double s = current.hidden_unit_saliency(l, u);  // dsml-lint: allow(matrix-elem-in-loop)
           if (s < best_sal) {
             best_sal = s;
             best_layer = l;

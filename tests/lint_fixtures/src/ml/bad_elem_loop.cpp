@@ -1,0 +1,11 @@
+// Fixture: matrix-elem-in-loop violation (per-element operator() walk in an
+// ML hot loop instead of row spans / batched kernels).
+double trace_like(const Matrix& m, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      total += m(i, j);
+    }
+  }
+  return total;
+}

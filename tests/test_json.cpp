@@ -1,0 +1,134 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dsml::json {
+namespace {
+
+// --- Writer -----------------------------------------------------------------
+
+TEST(JsonWriter, EmitsNestedStructureWithDeterministicLayout) {
+  Writer w;
+  w.begin_object()
+      .field("schema", "dsml-bench-ml/v1")
+      .field("threads", 4)
+      .field("fast", false)
+      .key("sections")
+      .begin_object()
+      .key("gemm")
+      .begin_object()
+      .field("speedup", 1.5)
+      .field("equivalent", true)
+      .end_object()
+      .end_object()
+      .key("folds")
+      .begin_array()
+      .value(1.25)
+      .value(2.5)
+      .end_array()
+      .end_object();
+  const std::string text = w.str();
+  const Value v = Value::parse(text);
+  EXPECT_EQ(v.at("schema").as_string(), "dsml-bench-ml/v1");
+  EXPECT_EQ(v.at("threads").as_number(), 4.0);
+  EXPECT_FALSE(v.at("fast").as_bool());
+  EXPECT_TRUE(v.at("sections").at("gemm").at("equivalent").as_bool());
+  EXPECT_EQ(v.at("folds").items().size(), 2u);
+  EXPECT_EQ(v.at("folds").items()[1].as_number(), 2.5);
+  // Field order is insertion order, so the report diff is stable.
+  EXPECT_EQ(v.fields().front().first, "schema");
+}
+
+TEST(JsonWriter, NumbersRoundTripAtFullPrecision) {
+  const double values[] = {0.1, 1.0 / 3.0, 1e-300, 123456789.123456789,
+                           -0.0};
+  for (double x : values) {
+    Writer w;
+    w.begin_object().field("x", x).end_object();
+    const Value v = Value::parse(w.str());
+    EXPECT_EQ(v.at("x").as_number(), x);
+  }
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  Writer w;
+  w.begin_object()
+      .field("nan", std::nan(""))
+      .field("inf", std::numeric_limits<double>::infinity())
+      .end_object();
+  const Value v = Value::parse(w.str());
+  EXPECT_TRUE(v.at("nan").is_null());
+  EXPECT_TRUE(v.at("inf").is_null());
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  Writer w;
+  w.begin_object().field("s", "a\"b\\c\n\t").end_object();
+  const Value v = Value::parse(w.str());
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\n\t");
+}
+
+TEST(JsonWriter, MisuseThrowsStateError) {
+  {
+    Writer w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), StateError);  // value without key
+  }
+  {
+    Writer w;
+    w.begin_array();
+    EXPECT_THROW(w.str(), StateError);  // still open
+  }
+  {
+    Writer w;
+    EXPECT_THROW(w.end_object(), StateError);  // nothing to close
+  }
+}
+
+// --- Parser -----------------------------------------------------------------
+
+TEST(JsonParser, ParsesScalarsAndContainers) {
+  const Value v = Value::parse(
+      R"({"a": [1, -2.5, true, false, null, "xA"], "b": {"c": 3e2}})");
+  const auto& items = v.at("a").items();
+  ASSERT_EQ(items.size(), 6u);
+  EXPECT_EQ(items[0].as_number(), 1.0);
+  EXPECT_EQ(items[1].as_number(), -2.5);
+  EXPECT_TRUE(items[2].as_bool());
+  EXPECT_FALSE(items[3].as_bool());
+  EXPECT_TRUE(items[4].is_null());
+  EXPECT_EQ(items[5].as_string(), "xA");
+  EXPECT_EQ(v.at("b").at("c").as_number(), 300.0);
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("missing"));
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(Value::parse(""), IoError);
+  EXPECT_THROW(Value::parse("{"), IoError);
+  EXPECT_THROW(Value::parse("[1,]"), IoError);
+  EXPECT_THROW(Value::parse("{\"a\": 1} trailing"), IoError);
+  EXPECT_THROW(Value::parse("{'a': 1}"), IoError);
+  EXPECT_THROW(Value::parse("nul"), IoError);
+}
+
+TEST(JsonParser, TypeMismatchThrows) {
+  const Value v = Value::parse(R"({"n": 5})");
+  EXPECT_THROW(v.at("n").as_string(), IoError);
+  EXPECT_THROW(v.at("n").items(), IoError);
+  EXPECT_THROW(v.at("missing"), IoError);
+  EXPECT_THROW(Value::parse("[1]").at("k"), IoError);
+}
+
+TEST(JsonParser, ParseFileErrorsOnMissingPath) {
+  EXPECT_THROW(Value::parse_file("/no/such/dir/bench.json"), IoError);
+}
+
+}  // namespace
+}  // namespace dsml::json

@@ -73,6 +73,12 @@ TEST(LintFixtures, NakedNew) {
             2);
 }
 
+TEST(LintFixtures, MatrixElemInLoop) {
+  const auto d = lint_file(kFixtures + "/src/ml/bad_elem_loop.cpp");
+  EXPECT_TRUE(has_rule(d, "matrix-elem-in-loop"));
+  EXPECT_EQ(run_paths({kFixtures + "/src/ml/bad_elem_loop.cpp"}, nullptr), 1);
+}
+
 TEST(LintFixtures, UnknownAllowIsFlagged) {
   const auto d = lint_file(kFixtures + "/bad_allow.cpp");
   EXPECT_TRUE(has_rule(d, "unknown-allow"));
@@ -114,7 +120,8 @@ TEST(LintCli, WalkingFixtureDirectoryFindsEveryRule) {
   EXPECT_EQ(run_paths({kFixtures}, &text), 1);
   for (const char* rule :
        {"rand-source", "float-accum", "iostream-in-lib", "catch-all-swallow",
-        "header-guard", "naked-new", "unknown-allow"}) {
+        "header-guard", "naked-new", "matrix-elem-in-loop",
+        "unknown-allow"}) {
     EXPECT_NE(text.find(rule), std::string::npos) << rule;
   }
 }
@@ -161,6 +168,34 @@ TEST(LintSource, CommentsAndStringsDoNotTrigger) {
       "/* so would new int or delete p */\n"
       "inline const char* kDoc = \"std::cout << new int\";\n";
   EXPECT_TRUE(lint_source("src/common/doc.hpp", source).empty());
+}
+
+TEST(LintSource, MatrixElemScopedToMlSources) {
+  const std::string source =
+      "void f(Matrix& w, int n) {\n"
+      "  for (int i = 0; i < n; ++i) w(i, 0) += 1.0;\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_source("src/ml/mlp.cpp", source),
+                       "matrix-elem-in-loop"));
+  EXPECT_FALSE(has_rule(lint_source("src/linalg/matrix.cpp", source),
+                        "matrix-elem-in-loop"));
+  EXPECT_FALSE(has_rule(lint_source("tests/test_ml.cpp", source),
+                        "matrix-elem-in-loop"));
+}
+
+TEST(LintSource, MatrixElemIgnoresQualifiedCallsAndDeadLoopVars) {
+  // Namespace-qualified callees are free functions, and a loop variable must
+  // not outlive its loop body.
+  const std::string source =
+      "void f(Matrix& w, int n) {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    use(std::min(i, n));\n"
+      "  }\n"
+      "  int j = 0;\n"
+      "  w(j, n) = 1.0;  // not inside any loop\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("src/ml/mlp.cpp", source),
+                        "matrix-elem-in-loop"));
 }
 
 TEST(LintSource, CatchAllThatRethrowsIsFine) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "data/split.hpp"
 #include "ml/linreg.hpp"
 #include "ml/metrics.hpp"
 #include "ml/nn_models.hpp"
@@ -73,6 +75,38 @@ TEST(EstimateError, DeterministicGivenSeed) {
   const ErrorEstimate a = estimate_error(lr_factory(), ds, opt);
   const ErrorEstimate b = estimate_error(lr_factory(), ds, opt);
   EXPECT_EQ(a.folds, b.folds);
+}
+
+TEST(EstimateError, EstimateErrorMatchesSerialReference) {
+  // estimate_error runs its folds across the thread pool; this replica is
+  // the historical serial loop (one Rng, splits consumed in repeat order,
+  // fit/predict per fold). The parallel implementation must reproduce it
+  // bit-for-bit at any thread count — splits are pre-drawn serially and each
+  // fold writes only its own slot.
+  const data::Dataset ds = make_linear_data(90, 8);
+  ValidationOptions opt;
+  opt.repeats = 7;
+  opt.seed = 4242;
+
+  Rng rng(opt.seed);
+  std::vector<double> serial_folds;
+  for (std::size_t rep = 0; rep < opt.repeats; ++rep) {
+    const auto [fit_idx, holdout_idx] = data::split_half(ds.n_rows(), rng);
+    const data::Dataset fit_part = ds.select_rows(fit_idx);
+    const data::Dataset holdout_part = ds.select_rows(holdout_idx);
+    auto model = lr_factory()();
+    model->fit(fit_part);
+    serial_folds.push_back(
+        mape(model->predict(holdout_part), holdout_part.target()));
+  }
+
+  const ErrorEstimate est = estimate_error(lr_factory(), ds, opt);
+  ASSERT_EQ(est.folds.size(), serial_folds.size());
+  for (std::size_t rep = 0; rep < serial_folds.size(); ++rep) {
+    EXPECT_EQ(est.folds[rep], serial_folds[rep]) << "fold " << rep;
+  }
+  EXPECT_EQ(est.average, stats::mean(serial_folds));
+  EXPECT_EQ(est.maximum, stats::max(serial_folds));
 }
 
 TEST(EstimateError, TooFewRowsThrows) {

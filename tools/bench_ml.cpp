@@ -1,0 +1,488 @@
+#include "bench_ml.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "data/encoder.hpp"
+#include "data/split.hpp"
+#include "dse/chronological.hpp"
+#include "linalg/kernels.hpp"
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+#include "ml/model_zoo.hpp"
+#include "ml/validation.hpp"
+#include "sim/config.hpp"
+
+namespace dsml::bench_ml {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Wall time of one call of fn, repeated until at least `min_seconds` has
+/// elapsed (minimum one call); returns seconds per call.
+double time_per_call(const std::function<void()>& fn,
+                     double min_seconds = 0.2) {
+  std::size_t reps = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++reps;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  return elapsed / static_cast<double>(reps);
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+struct Section {
+  std::string name;
+  double reference_ms = 0.0;
+  double optimized_ms = 0.0;
+  bool equivalent = true;
+  double max_diff = 0.0;
+
+  double speedup() const {
+    return optimized_ms > 0.0 ? reference_ms / optimized_ms : 0.0;
+  }
+};
+
+// ------------------------------------------------------------------ gemm ---
+
+Section bench_gemm(json::Writer& w, bool fast) {
+  // Full size puts B at 768*768*8 = 4.5 MiB — past kCacheResidentBytes and a
+  // typical L2 — so the depth-split tiling actually engages; in-cache shapes
+  // take the single-pass route and would only measure loop overhead.
+  const std::size_t m = fast ? 192 : 512;
+  const std::size_t k = fast ? 128 : 768;
+  const std::size_t n = fast ? 96 : 768;
+  Rng rng(42);
+  linalg::Matrix a(m, k);
+  linalg::Matrix b(k, n);
+  for (double& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b.data()) v = rng.uniform(-1.0, 1.0);
+  linalg::Matrix c_blocked(m, n);
+  linalg::Matrix c_ref(m, n);
+
+  const double blocked_s = time_per_call([&] {
+    std::fill(c_blocked.data().begin(), c_blocked.data().end(), 0.0);
+    linalg::kernels::gemm_accumulate(a.data().data(), k, b.data().data(), n,
+                                     c_blocked.data().data(), n, m, k, n);
+  });
+  const double ref_s = time_per_call([&] {
+    std::fill(c_ref.data().begin(), c_ref.data().end(), 0.0);
+    linalg::kernels::gemm_accumulate_reference(a.data().data(), k,
+                                               b.data().data(), n,
+                                               c_ref.data().data(), n, m, k, n);
+  });
+
+  Section s;
+  s.name = "gemm";
+  s.reference_ms = ref_s * 1e3;
+  s.optimized_ms = blocked_s * 1e3;
+  s.max_diff = linalg::Matrix::max_abs_diff(c_blocked, c_ref);
+  s.equivalent = s.max_diff == 0.0;
+
+  const double flops = 2.0 * static_cast<double>(m * k * n);
+  w.key("gemm").begin_object();
+  w.field("m", m).field("k", k).field("n", n);
+  w.field("blocked_ms", s.optimized_ms);
+  w.field("reference_ms", s.reference_ms);
+  w.field("blocked_gflops", flops / blocked_s * 1e-9);
+  w.field("speedup", s.speedup());
+  w.field("bit_identical", s.equivalent);
+  w.end_object();
+  return s;
+}
+
+// ----------------------------------------------------------- mlp predict ---
+
+Section bench_mlp_predict(json::Writer& w, bool fast) {
+  const std::size_t rows = fast ? 1024 : sim::kDesignSpaceSize;
+  const std::size_t n_inputs = 16;
+  const std::vector<std::size_t> hidden = {16};
+  Rng rng(7);
+  ml::Mlp net(n_inputs, hidden, rng);
+  linalg::Matrix x(rows, n_inputs);
+  for (double& v : x.data()) v = rng.uniform(-1.0, 1.0);
+
+  std::vector<double> per_row(rows);
+  const double per_row_s = time_per_call([&] {
+    for (std::size_t r = 0; r < rows; ++r) per_row[r] = net.predict(x.row(r));
+  });
+  std::vector<double> batched;
+  const double batched_s = time_per_call([&] { batched = net.predict(x); });
+
+  Section s;
+  s.name = "mlp_predict";
+  s.reference_ms = per_row_s * 1e3;
+  s.optimized_ms = batched_s * 1e3;
+  s.max_diff = max_abs_diff(per_row, batched);
+  s.equivalent = bitwise_equal(per_row, batched);
+
+  w.key("mlp_predict").begin_object();
+  w.field("rows", rows).field("inputs", n_inputs).field("hidden", hidden[0]);
+  w.field("batched_ms", s.optimized_ms);
+  w.field("per_row_ms", s.reference_ms);
+  w.field("batched_rows_per_sec", static_cast<double>(rows) / batched_s);
+  w.field("per_row_rows_per_sec", static_cast<double>(rows) / per_row_s);
+  w.field("speedup", s.speedup());
+  w.field("bit_identical", s.equivalent);
+  w.end_object();
+  return s;
+}
+
+// ------------------------------------------------- design-space datasets ---
+
+/// The full 4608-point design space with a deterministic synthetic cycle
+/// count per configuration (a smooth function of the parameters plus seeded
+/// noise) — enough structure for the regression paths to be representative.
+data::Dataset synthetic_design_space() {
+  const std::vector<sim::ProcessorConfig> configs =
+      sim::enumerate_design_space();
+  std::vector<double> cycles;
+  cycles.reserve(configs.size());
+  Rng noise(97);
+  for (const auto& c : configs) {
+    double v = 4.0e6;
+    v -= 1.2e4 * std::log2(static_cast<double>(c.l1d_size_kb));
+    v -= 0.9e4 * std::log2(static_cast<double>(c.l2_size_kb));
+    v -= 2.5e3 * static_cast<double>(c.width);
+    v -= 1.1e3 * std::log2(static_cast<double>(c.ruu_size));
+    v += c.has_l3() ? -3.0e3 * static_cast<double>(c.l3_size_mb) : 0.0;
+    v += 2.0e3 * static_cast<double>(c.l1d_assoc);
+    v *= 1.0 + 0.02 * noise.uniform(-1.0, 1.0);
+    cycles.push_back(v);
+  }
+  return sim::make_config_dataset(configs, std::move(cycles));
+}
+
+// ------------------------------------------------------------ lr predict ---
+
+Section bench_lr_predict(json::Writer& w, const data::Dataset& full,
+                         const data::Dataset& train) {
+  ml::LinearRegression::Options lropt;
+  lropt.method = ml::LinRegMethod::kEnter;
+  ml::LinearRegression model(lropt);
+  model.fit(train);
+
+  // The historical predict pipeline: encode, materialise the selected
+  // columns, then a dense GEMV. Rebuilt here from public pieces (an Encoder
+  // fitted with LinearRegression's exact options) as the reference.
+  data::EncoderOptions enc_opt;
+  enc_opt.mode = data::EncodingMode::kLinearRegression;
+  enc_opt.scale_inputs = true;
+  enc_opt.scale_target = false;
+  enc_opt.drop_constant = true;
+  enc_opt.add_intercept = true;
+  data::Encoder encoder;
+  encoder.fit(train, enc_opt);
+
+  std::vector<double> reference;
+  const double ref_s = time_per_call([&] {
+    const linalg::Matrix x = encoder.encode(full);
+    const linalg::Matrix xs = x.select_columns(model.ols().columns);
+    reference = xs.multiply(model.ols().beta);
+  });
+  std::vector<double> optimized;
+  const double opt_s = time_per_call([&] { optimized = model.predict(full); });
+
+  Section s;
+  s.name = "lr_predict";
+  s.reference_ms = ref_s * 1e3;
+  s.optimized_ms = opt_s * 1e3;
+  s.max_diff = max_abs_diff(reference, optimized);
+  s.equivalent = bitwise_equal(reference, optimized);
+
+  w.key("lr_predict").begin_object();
+  w.field("rows", full.n_rows());
+  w.field("selected_columns", model.ols().columns.size());
+  w.field("fused_ms", s.optimized_ms);
+  w.field("copy_then_gemv_ms", s.reference_ms);
+  w.field("fused_rows_per_sec", static_cast<double>(full.n_rows()) / opt_s);
+  w.field("speedup", s.speedup());
+  w.field("bit_identical", s.equivalent);
+  w.end_object();
+  return s;
+}
+
+// -------------------------------------------------------- estimate_error ---
+
+/// The pre-parallel estimate_error loop, reproduced verbatim as the
+/// reference: folds drawn and evaluated serially from one Rng stream.
+ml::ErrorEstimate serial_estimate_error(const ml::ModelFactory& factory,
+                                        const data::Dataset& train,
+                                        const ml::ValidationOptions& options) {
+  Rng rng(options.seed);
+  ml::ErrorEstimate est;
+  for (std::size_t rep = 0; rep < options.repeats; ++rep) {
+    auto [fit_idx, holdout_idx] = data::split_half(train.n_rows(), rng);
+    const data::Dataset fit_part = train.select_rows(fit_idx);
+    const data::Dataset holdout_part = train.select_rows(holdout_idx);
+    auto model = factory();
+    model->fit(fit_part);
+    est.folds.push_back(
+        ml::mape(model->predict(holdout_part), holdout_part.target()));
+  }
+  return est;
+}
+
+Section bench_estimate_error(json::Writer& w, const data::Dataset& train,
+                             bool fast) {
+  ml::ZooOptions zoo;
+  zoo.nn_epoch_scale = fast ? 0.1 : 0.5;
+  const ml::NamedModel nm = ml::make_model("NN-Q", zoo);
+  ml::ValidationOptions vopt;
+  vopt.seed = 1234;
+
+  ml::ErrorEstimate serial;
+  const double serial_s = time_per_call(
+      [&] { serial = serial_estimate_error(nm.make, train, vopt); }, 0.0);
+  ml::ErrorEstimate parallel;
+  const double parallel_s = time_per_call(
+      [&] { parallel = ml::estimate_error(nm.make, train, vopt); }, 0.0);
+
+  Section s;
+  s.name = "estimate_error";
+  s.reference_ms = serial_s * 1e3;
+  s.optimized_ms = parallel_s * 1e3;
+  s.max_diff = max_abs_diff(serial.folds, parallel.folds);
+  s.equivalent = bitwise_equal(serial.folds, parallel.folds);
+
+  // Satellite measurement: how much of one fold is the select_rows copy?
+  Rng rng(vopt.seed);
+  const auto [fit_idx, holdout_idx] = data::split_half(train.n_rows(), rng);
+  const double copy_s = time_per_call([&] {
+    const data::Dataset fit_part = train.select_rows(fit_idx);
+    const data::Dataset holdout_part = train.select_rows(holdout_idx);
+  });
+
+  w.key("estimate_error").begin_object();
+  w.field("model", nm.name);
+  w.field("train_rows", train.n_rows());
+  w.field("folds", vopt.repeats);
+  w.field("serial_ms", s.reference_ms);
+  w.field("parallel_ms", s.optimized_ms);
+  w.field("speedup", s.speedup());
+  w.field("bit_identical", s.equivalent);
+  w.key("select_rows_copy").begin_object();
+  w.field("per_fold_us", copy_s * 1e6);
+  w.field("share_of_serial_fold",
+          copy_s / (serial_s / static_cast<double>(vopt.repeats)));
+  w.end_object();
+  w.end_object();
+  return s;
+}
+
+// ------------------------------------------------------------ select fit ---
+
+Section bench_select_fit(json::Writer& w, const data::Dataset& train,
+                         bool fast) {
+  ml::ZooOptions zoo;
+  zoo.nn_epoch_scale = fast ? 0.05 : 0.25;
+  ml::ValidationOptions vopt;
+  vopt.seed = 4321;
+
+  // Serial reference: the pre-thread-pool SelectModel::fit — candidates
+  // scored one after another with the same per-candidate seeds.
+  std::vector<ml::NamedModel> menu = ml::sampled_dse_menu(zoo);
+  std::string serial_choice;
+  const double serial_s = time_per_call(
+      [&] {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t best_idx = 0;
+        for (std::size_t i = 0; i < menu.size(); ++i) {
+          ml::ValidationOptions opts = vopt;
+          opts.seed = vopt.seed + i;
+          const ml::ErrorEstimate est =
+              serial_estimate_error(menu[i].make, train, opts);
+          const double maximum =
+              *std::max_element(est.folds.begin(), est.folds.end());
+          if (maximum < best) {
+            best = maximum;
+            best_idx = i;
+          }
+        }
+        auto winner = menu[best_idx].make();
+        winner->fit(train);
+        serial_choice = menu[best_idx].name;
+      },
+      0.0);
+
+  std::string parallel_choice;
+  const double parallel_s = time_per_call(
+      [&] {
+        ml::SelectModel select(ml::sampled_dse_menu(zoo), vopt);
+        select.fit(train);
+        parallel_choice = select.chosen_name();
+      },
+      0.0);
+
+  Section s;
+  s.name = "select_fit";
+  s.reference_ms = serial_s * 1e3;
+  s.optimized_ms = parallel_s * 1e3;
+  s.equivalent = serial_choice == parallel_choice;
+
+  w.key("select_fit").begin_object();
+  w.field("candidates", menu.size());
+  w.field("train_rows", train.n_rows());
+  w.field("serial_ms", s.reference_ms);
+  w.field("parallel_ms", s.optimized_ms);
+  w.field("speedup", s.speedup());
+  w.field("chosen", parallel_choice);
+  w.field("same_choice", s.equivalent);
+  w.end_object();
+  return s;
+}
+
+// ---------------------------------------------------------- model errors ---
+
+std::vector<std::pair<std::string, double>> bench_model_errors(
+    json::Writer& w, bool fast) {
+  dse::ChronologicalOptions options;
+  options.model_names = {"LR-E", "LR-S", "LR-F", "LR-B", "NN-Q"};
+  options.zoo.nn_epoch_scale = fast ? 0.25 : 1.0;
+  const dse::ChronologicalResult result =
+      dse::run_chronological(specdata::Family::kXeon, options);
+
+  std::vector<std::pair<std::string, double>> errors;
+  w.key("model_errors").begin_object();
+  for (const auto& m : result.models) {
+    errors.emplace_back(m.model, m.error.mean);
+    w.field(m.model, m.error.mean);
+  }
+  w.end_object();
+  return errors;
+}
+
+// ------------------------------------------------------------ drift gate ---
+
+bool check_drift(const std::string& path,
+                 const std::vector<std::pair<std::string, double>>& current,
+                 std::ostream& out, std::ostream& err) {
+  const json::Value baseline = json::Value::parse_file(path);
+  if (!baseline.contains("model_errors")) {
+    err << "bench --check: '" << path << "' has no model_errors section\n";
+    return false;
+  }
+  const json::Value& committed = baseline.at("model_errors");
+  bool ok = true;
+  for (const auto& [model, error] : current) {
+    if (!committed.contains(model)) continue;
+    const double old_error = committed.at(model).as_number();
+    const double drift =
+        std::abs(error - old_error) / std::max(std::abs(old_error), 1e-12);
+    if (drift > 0.05) {
+      err << "bench --check: " << model << " error drifted "
+          << strings::format_double(drift * 100.0, 1) << "% ("
+          << strings::format_double(old_error, 4) << " -> "
+          << strings::format_double(error, 4) << ")\n";
+      ok = false;
+    } else {
+      out << "  drift " << model << ": "
+          << strings::format_double(drift * 100.0, 2) << "% (ok)\n";
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int run(const BenchOptions& options, std::ostream& out, std::ostream& err) {
+  json::Writer w;
+  w.begin_object();
+  w.field("schema", "dsml-bench-ml/v1");
+  w.field("threads", ThreadPool::global().size());
+  w.field("hardware_concurrency",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.field("fast", options.fast);
+  w.key("sections").begin_object();
+
+  out << "dsml bench (threads=" << ThreadPool::global().size()
+      << (options.fast ? ", fast" : "") << ")\n";
+
+  std::vector<Section> sections;
+  sections.push_back(bench_gemm(w, options.fast));
+  sections.push_back(bench_mlp_predict(w, options.fast));
+
+  const data::Dataset full = synthetic_design_space();
+  Rng sample_rng(13);
+  const std::vector<std::size_t> sample_idx =
+      data::sample_fraction(full.n_rows(), 0.1, sample_rng, 10);
+  const data::Dataset train = full.select_rows(sample_idx);
+
+  sections.push_back(bench_lr_predict(w, full, train));
+  sections.push_back(bench_estimate_error(w, train, options.fast));
+  sections.push_back(bench_select_fit(w, train, options.fast));
+  w.end_object();  // sections
+
+  const auto model_errors = bench_model_errors(w, options.fast);
+  w.end_object();  // document
+
+  TablePrinter table({"section", "reference ms", "optimized ms", "speedup",
+                      "equivalent"});
+  bool all_equivalent = true;
+  for (const Section& s : sections) {
+    all_equivalent = all_equivalent && s.equivalent;
+    table.add_row({s.name, strings::format_double(s.reference_ms, 2),
+                   strings::format_double(s.optimized_ms, 2),
+                   strings::format_double(s.speedup(), 2),
+                   s.equivalent ? "yes" : "NO"});
+  }
+  table.print(out);
+  for (const auto& [model, error] : model_errors) {
+    out << "  " << model << " mean err " << strings::format_double(error, 2)
+        << "%\n";
+  }
+
+  if (!options.json_path.empty()) {
+    std::ofstream file(options.json_path, std::ios::binary);
+    if (!file) {
+      err << "bench: cannot write '" << options.json_path << "'\n";
+      return 1;
+    }
+    file << w.str();
+    out << "wrote " << options.json_path << "\n";
+  }
+
+  if (!all_equivalent) {
+    err << "bench: optimized paths diverged from the reference\n";
+    return 1;
+  }
+  if (!options.check_path.empty() &&
+      !check_drift(options.check_path, model_errors, out, err)) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace dsml::bench_ml

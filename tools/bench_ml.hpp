@@ -1,0 +1,28 @@
+// The `dsml bench` perf harness: measures the ML hot paths (blocked GEMM,
+// batched MLP / LR prediction, parallel cross-validation, Select-model fit)
+// against in-process naive references, verifies the optimized paths are
+// numerically identical, and emits a machine-readable BENCH_ML.json so the
+// perf trajectory is tracked PR over PR. With --check it also gates on
+// model-error drift against a committed baseline (the CI perf-smoke job).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace dsml::bench_ml {
+
+struct BenchOptions {
+  /// Write the JSON report here ("" = stdout summary only).
+  std::string json_path;
+  /// Compare model errors against this committed baseline; >5% relative
+  /// drift (or any equivalence failure) exits non-zero.
+  std::string check_path;
+  /// Smaller problem sizes / epoch budgets for quick smoke runs.
+  bool fast = false;
+};
+
+/// Runs every bench section. Returns 0 on success, 1 when an equivalence
+/// assertion or the --check drift gate fails.
+int run(const BenchOptions& options, std::ostream& out, std::ostream& err);
+
+}  // namespace dsml::bench_ml

@@ -5,6 +5,7 @@
 #include <optional>
 #include <sstream>
 
+#include "bench_ml.hpp"
 #include "common/csv.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -229,6 +230,14 @@ int cmd_predict(const Options& opt, std::ostream& out) {
   return 0;
 }
 
+int cmd_bench(const Options& opt, std::ostream& out, std::ostream& err) {
+  bench_ml::BenchOptions options;
+  options.json_path = opt.get_or("json", "");
+  options.check_path = opt.get_or("check", "");
+  options.fast = opt.get_or("fast", "0") == "1";
+  return bench_ml::run(options, out, err);
+}
+
 }  // namespace
 
 std::string usage() {
@@ -242,6 +251,7 @@ std::string usage() {
       "  chrono  --family F [--target int|fp|app:<i>] [--models M1,M2]\n"
       "  train   --app A --rate R --model M --out F [--seed S]\n"
       "  predict --model F [--top N]\n"
+      "  bench   [--json F] [--check F] [--fast 1]   ML perf bench + JSON report\n"
       "  lint    [--list-rules] [path...]   run the dsml-lint static checker\n";
 }
 
@@ -265,6 +275,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "chrono") return cmd_chrono(opt, out);
     if (cmd == "train") return cmd_train(opt, out);
     if (cmd == "predict") return cmd_predict(opt, out);
+    if (cmd == "bench") return cmd_bench(opt, out, err);
     err << "unknown command '" << cmd << "'\n" << usage();
     return 1;
   } catch (const std::exception& e) {

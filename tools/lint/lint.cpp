@@ -328,6 +328,77 @@ void rule_naked_new(const std::string& file, const SourceModel& model,
   }
 }
 
+/// Flags two-argument `m(i, j)` call expressions inside for-loops in src/ml
+/// where an argument is a loop induction variable: per-element
+/// Matrix::operator() walks in ML hot loops defeat the blocked kernels in
+/// linalg/kernels.hpp (row spans and batched GEMM/GEMV are the fast paths).
+/// Heuristic, line-oriented: loop variables are harvested from `for (Type v =`
+/// headers and expire when their brace scope closes; namespace-qualified
+/// callees (std::min, kernels::gemv, ...) and calls whose arguments are not
+/// plain identifiers are skipped. Genuinely cold code (model surgery,
+/// serialization) opts out with `// dsml-lint: allow(matrix-elem-in-loop)`.
+void rule_matrix_elem_in_loop(const std::string& file,
+                              const std::string& normalized,
+                              const SourceModel& model,
+                              std::vector<Diagnostic>* out) {
+  if (!path_has_dir(normalized, "src") || !path_has_dir(normalized, "ml")) {
+    return;
+  }
+  static const std::regex kForVar(
+      R"(\bfor\s*\(\s*(?:const\s+)?[A-Za-z_][\w:]*\s+([A-Za-z_]\w*)\s*=)");
+  static const std::regex kCall(
+      R"(([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*\(\s*([A-Za-z_]\w*|[0-9]+)\s*,\s*([A-Za-z_]\w*|[0-9]+)\s*\))");
+  static const std::unordered_set<std::string> kNotAccessors = {
+      "for", "if", "while", "switch", "catch", "return", "sizeof"};
+
+  std::vector<std::pair<std::string, int>> loop_vars;  // name, header depth
+  int depth = 0;
+  for (std::size_t i = 0; i < model.code.size(); ++i) {
+    const std::string& line = model.code[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), kForVar);
+         it != std::sregex_iterator(); ++it) {
+      loop_vars.emplace_back((*it)[1].str(), depth);
+    }
+    if (!loop_vars.empty()) {
+      const auto is_loop_var = [&](const std::string& name) {
+        return std::any_of(
+            loop_vars.begin(), loop_vars.end(),
+            [&](const auto& v) { return v.first == name; });
+      };
+      for (auto it = std::sregex_iterator(line.begin(), line.end(), kCall);
+           it != std::sregex_iterator(); ++it) {
+        const std::smatch& m = *it;
+        const auto pos = static_cast<std::size_t>(m.position());
+        // A ':' immediately before the callee means it is namespace-qualified
+        // (free functions, casts), not a matrix object.
+        if (pos > 0 && line[pos - 1] == ':') continue;
+        const std::string callee = m[1].str();
+        const std::size_t seg = callee.find_last_of(".>");
+        const std::string last =
+            seg == std::string::npos ? callee : callee.substr(seg + 1);
+        if (kNotAccessors.count(last)) continue;
+        if (is_loop_var(m[2].str()) || is_loop_var(m[3].str())) {
+          out->push_back(
+              {file, i + 1, "matrix-elem-in-loop",
+               "per-element operator() access in an src/ml loop; use row "
+               "spans or the batched kernels (linalg/kernels.hpp), or mark "
+               "cold code with an allow directive"});
+          break;  // one diagnostic per line is enough
+        }
+      }
+    }
+    for (char c : line) {
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        while (!loop_vars.empty() && loop_vars.back().second >= depth) {
+          loop_vars.pop_back();
+        }
+      }
+    }
+  }
+}
+
 bool lintable_extension(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
@@ -352,6 +423,8 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "catch (...) that neither rethrows nor captures the exception"},
       {"header-guard", "header without #pragma once"},
       {"naked-new", "raw new/delete expression"},
+      {"matrix-elem-in-loop",
+       "per-element Matrix operator() access inside src/ml loops"},
       {"unknown-allow", "allow() directive naming an unknown rule"},
   };
   return kRules;
@@ -376,6 +449,7 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   rule_catch_all_swallow(path, model, &found);
   rule_header_guard(path, normalized, model, &found);
   rule_naked_new(path, model, &found);
+  rule_matrix_elem_in_loop(path, normalized, model, &found);
 
   std::vector<Diagnostic> kept;
   for (auto& d : found) {
