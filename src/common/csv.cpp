@@ -5,45 +5,16 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace dsml::csv {
 
 namespace {
 
-std::vector<std::string> parse_line(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string field;
-  bool in_quotes = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          field += '"';
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        field += c;
-      }
-    } else if (c == '"') {
-      in_quotes = true;
-    } else if (c == ',') {
-      fields.push_back(std::move(field));
-      field.clear();
-    } else if (c == '\r') {
-      // tolerate CRLF
-    } else {
-      field += c;
-    }
-  }
-  fields.push_back(std::move(field));
-  return fields;
-}
-
 bool needs_quoting(const std::string& s) {
-  return s.find_first_of(",\"\n") != std::string::npos;
+  // '\r' must be quoted too: outside quotes the parser treats it as CRLF
+  // line-ending noise, so an unquoted '\r' would not round-trip.
+  return s.find_first_of(",\"\n\r") != std::string::npos;
 }
 
 std::string quote(const std::string& s) {
@@ -67,13 +38,22 @@ std::size_t Table::column_index(const std::string& name) const {
 }
 
 Table parse(const std::string& text) {
+  // One pass over the raw text rather than per-line getline: a record ends
+  // at a newline *outside quotes*, so fields written by to_string with
+  // embedded '\n' (and '\r') round-trip instead of tearing the row apart.
   Table table;
-  std::istringstream in(text);
-  std::string line;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool record_started = false;  // any field content / ',' / '"' seen
   bool first = true;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto fields = parse_line(line);
+
+  const auto end_field = [&] {
+    fields.push_back(std::move(field));
+    field.clear();
+  };
+  const auto end_record = [&] {
+    end_field();
     if (first) {
       table.header = std::move(fields);
       first = false;
@@ -85,8 +65,45 @@ Table parse(const std::string& text) {
       }
       table.rows.push_back(std::move(fields));
     }
+    fields.clear();
+    record_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;  // embedded commas, newlines, and '\r' kept verbatim
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      record_started = true;
+    } else if (c == ',') {
+      end_field();
+      record_started = true;
+    } else if (c == '\n') {
+      if (record_started) end_record();
+      // else: blank line (or bare CRLF), skipped as before
+    } else if (c == '\r') {
+      // CRLF (or stray '\r') outside quotes: line-ending noise, dropped
+    } else {
+      field += c;
+      record_started = true;
+    }
   }
+  if (in_quotes) throw IoError("csv: unterminated quoted field");
+  if (record_started) end_record();  // final record without trailing newline
   if (first) throw IoError("csv: empty input");
+
+  static metrics::Counter& rows_ingested = metrics::counter("io.csv_rows");
+  rows_ingested.add(table.rows.size());
   return table;
 }
 

@@ -2,8 +2,11 @@
 //
 // Used by the experiment cache (simulation sweeps are minutes of CPU; their
 // outputs are persisted as CSV) and by users who want to export datasets.
-// Supports quoted fields with embedded commas/quotes per RFC 4180; does not
-// support embedded newlines (none of our data needs them).
+// Supports quoted fields with embedded commas, quotes, and newlines per
+// RFC 4180: the parser scans the whole text with a quote-aware state machine
+// (not line-by-line), so anything to_string writes — including fields
+// containing '\n' or '\r' — parses back verbatim. Bare CR/CRLF line endings
+// outside quotes are tolerated; '\r' inside quotes is data and preserved.
 #pragma once
 
 #include <string>

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -103,8 +104,25 @@ class Parser {
       case '[': return parse_array();
       case '"': {
         Value v;
-        v.type_ = Value::Type::kString;
         v.string_ = parse_string();
+        // Map the Writer's non-finite sentinels back to numbers so a value
+        // round-trips with its type (see format_number). These strings are
+        // reserved as *values*; object keys are unaffected.
+        if (v.string_ == "NaN") {
+          v.type_ = Value::Type::kNumber;
+          v.number_ = std::numeric_limits<double>::quiet_NaN();
+          v.string_.clear();
+        } else if (v.string_ == "Infinity") {
+          v.type_ = Value::Type::kNumber;
+          v.number_ = std::numeric_limits<double>::infinity();
+          v.string_.clear();
+        } else if (v.string_ == "-Infinity") {
+          v.type_ = Value::Type::kNumber;
+          v.number_ = -std::numeric_limits<double>::infinity();
+          v.string_.clear();
+        } else {
+          v.type_ = Value::Type::kString;
+        }
         return v;
       }
       case 't':
@@ -272,7 +290,12 @@ Value Value::parse_file(const std::string& path) {
 // --------------------------------------------------------------- Writer ----
 
 std::string format_number(double v) {
-  if (!std::isfinite(v)) return "null";
+  // JSON has no literal for non-finite doubles. Emitting null (the old
+  // behavior) silently changed the *type* on round-trip, so a NaN model
+  // error could slip past numeric comparisons; the string sentinels below
+  // keep the value representable and the Parser maps them back to numbers.
+  if (std::isnan(v)) return "\"NaN\"";
+  if (std::isinf(v)) return v > 0.0 ? "\"Infinity\"" : "\"-Infinity\"";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;

@@ -8,8 +8,12 @@
 // that little surface.
 //
 // Writer output is deterministic (insertion order, fixed indentation,
-// round-trippable '%.17g' numbers); non-finite doubles are emitted as null,
-// since JSON has no NaN/Inf.
+// round-trippable '%.17g' numbers). JSON has no NaN/Inf literal, so
+// non-finite doubles are emitted as the string sentinels "NaN", "Infinity",
+// and "-Infinity", which the Parser maps back to number values — a
+// non-finite bench entry round-trips as a (non-finite) number instead of
+// silently becoming null. Those three strings are therefore reserved as
+// values; writing them via value(std::string_view) round-trips as numbers.
 #pragma once
 
 #include <cstdint>
@@ -103,8 +107,9 @@ class Writer {
   bool done_ = false;
 };
 
-/// Round-trippable formatting for a JSON number ('%.17g'; null for
-/// non-finite values). Exposed for tests.
+/// Round-trippable formatting for a JSON number: '%.17g' for finite values,
+/// the quoted string sentinels "NaN"/"Infinity"/"-Infinity" otherwise (the
+/// Parser maps these back to numbers). Exposed for tests.
 std::string format_number(double v);
 
 }  // namespace dsml::json

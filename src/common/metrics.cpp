@@ -1,0 +1,174 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "common/json.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace dsml::metrics {
+
+namespace {
+
+std::size_t bucket_index(double v) noexcept {
+  if (!(v >= 1.0)) return 0;  // negatives and NaN clamp to the first bucket
+  const auto n = static_cast<std::uint64_t>(std::min(v, 9.2e18));
+  return std::min<std::size_t>(std::bit_width(n), Histogram::kBuckets - 1);
+}
+
+void atomic_add(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+/// Name → instrument maps. unique_ptr values keep instrument addresses
+/// stable across rehash-free std::map growth (and make the atomics
+/// non-movable members a non-issue).
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  // Leaked on purpose: pool workers may update instruments during static
+  // destruction (e.g. queued tasks draining at exit), and a leaked registry
+  // cannot dangle. dsml-lint: allow(naked-new)
+  static Registry* r = new Registry;  // dsml-lint: allow(naked-new)
+  return *r;
+}
+
+template <typename T>
+T& find_or_create(std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+                  std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) noexcept {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, std::isfinite(v) ? v : 0.0);
+}
+
+double Histogram::quantile_upper_bound(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen >= rank) {
+      return b == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(b));
+    }
+  }
+  return std::ldexp(1.0, static_cast<int>(kBuckets));
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) {
+  return find_or_create(registry().counters, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  return find_or_create(registry().gauges, name);
+}
+
+Histogram& histogram(std::string_view name) {
+  return find_or_create(registry().histograms, name);
+}
+
+Snapshot snapshot() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  Snapshot snap;
+  for (const auto& [name, c] : reg.counters) {
+    snap.counters.push_back({name, c->value()});
+  }
+  for (const auto& [name, g] : reg.gauges) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  for (const auto& [name, h] : reg.histograms) {
+    snap.histograms.push_back({name, h->count(), h->mean(),
+                               h->quantile_upper_bound(0.50),
+                               h->quantile_upper_bound(0.95)});
+  }
+  return snap;
+}
+
+void reset_all() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (const auto& [name, c] : reg.counters) c->reset();
+  for (const auto& [name, g] : reg.gauges) g->reset();
+  for (const auto& [name, h] : reg.histograms) h->reset();
+}
+
+void print(std::ostream& out) {
+  const Snapshot snap = snapshot();
+  out << "metrics registry\n";
+  if (snap.empty()) {
+    out << "  (no metrics recorded)\n";
+    return;
+  }
+  TablePrinter table({"metric", "type", "value", "detail"});
+  for (const auto& c : snap.counters) {
+    table.add_row({c.name, "counter", std::to_string(c.value), ""});
+  }
+  for (const auto& g : snap.gauges) {
+    table.add_row({g.name, "gauge", strings::format_double(g.value, 6), ""});
+  }
+  for (const auto& h : snap.histograms) {
+    table.add_row({h.name, "histogram", std::to_string(h.count),
+                   "mean " + strings::format_double(h.mean, 2) + ", p50<=" +
+                       strings::format_double(h.p50, 0) + ", p95<=" +
+                       strings::format_double(h.p95, 0)});
+  }
+  table.print(out);
+}
+
+void write_json(json::Writer& w) {
+  const Snapshot snap = snapshot();
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& c : snap.counters) w.field(c.name, c.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : snap.gauges) w.field(g.name, g.value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : snap.histograms) {
+    w.key(h.name).begin_object();
+    w.field("count", h.count);
+    w.field("mean", h.mean);
+    w.field("p50_upper", h.p50);
+    w.field("p95_upper", h.p95);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace dsml::metrics

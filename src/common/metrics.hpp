@@ -1,0 +1,151 @@
+// Process-wide metrics registry: named counters, gauges, and histograms.
+//
+// The hot pipeline reports aggregate facts here — rows ingested, training
+// epochs run, cross-validation folds, GEMM calls, workspace high-water
+// bytes, thread-pool task counts and queue wait — so `dsml stats` (and the
+// JSON dump) can answer "how much work did this process do" without a
+// profiler. Spans and timelines live in the companion tracing layer
+// (common/trace.hpp).
+//
+// Cost model: every instrument is a relaxed atomic op (counters/gauges) or a
+// couple of them (histograms); there is no lock on the update path, so
+// instruments are safe to hit from pool workers (the TSan suite does).
+// Registration (name → instrument lookup) takes a mutex, so hot code caches
+// the reference once:
+//
+//   static metrics::Counter& calls = metrics::counter("linalg.gemm_calls");
+//   calls.add();
+//
+// Instrument addresses are stable for the life of the process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsml::json {
+class Writer;
+}  // namespace dsml::json
+
+namespace dsml::metrics {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. current training loss) with an optional
+/// monotonic-max mode for high-water marks.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `v` if `v` is larger (high-water semantics).
+  void set_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two bucketed distribution of non-negative samples (queue waits
+/// in microseconds, block sizes, ...). Bucket b holds samples in
+/// [2^(b-1), 2^b); bucket 0 holds [0, 1). Lock-free: buckets, count, and sum
+/// are relaxed atomics, so concurrent observes never serialize.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (0 <= q <= 1), an
+  /// order-of-magnitude answer by design. 0 when empty.
+  double quantile_upper_bound(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Lazily registers (or finds) an instrument by name. Returned references
+/// stay valid for the process lifetime.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count;
+    double mean;
+    double p50;
+    double p95;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+Snapshot snapshot();
+
+/// Zeroes every registered instrument (tests; instruments stay registered).
+void reset_all();
+
+/// Human-readable dump (the `dsml stats` table).
+void print(std::ostream& out);
+
+/// Appends the registry as an object value; the caller owns the enclosing
+/// document (call under a pending key or at the document root).
+void write_json(json::Writer& w);
+
+}  // namespace dsml::metrics

@@ -6,6 +6,8 @@
 #include <exception>
 #include <string>
 
+#include "common/metrics.hpp"
+
 namespace dsml {
 
 namespace {
@@ -65,6 +67,19 @@ void ThreadPool::worker_loop() {
 }
 
 bool ThreadPool::in_worker_thread() noexcept { return tls_in_worker; }
+
+void ThreadPool::note_task_submitted() noexcept {
+  static metrics::Counter& tasks = metrics::counter("pool.tasks");
+  tasks.add();
+}
+
+void ThreadPool::note_queue_wait(
+    std::chrono::steady_clock::time_point enqueued) noexcept {
+  static metrics::Histogram& wait = metrics::histogram("pool.queue_wait_us");
+  const auto waited = std::chrono::steady_clock::now() - enqueued;
+  wait.observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(waited).count()));
+}
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;

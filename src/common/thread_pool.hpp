@@ -18,6 +18,7 @@
 //    which CI uses to force real concurrency on single-core runners.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -50,12 +51,21 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<void()>>(
         std::forward<F>(fn));
     std::future<void> fut = task->get_future();
+    // Observability: tasks are counted and their enqueue→dequeue latency
+    // feeds the pool.queue_wait_us histogram (see common/metrics.hpp). Both
+    // hooks are relaxed atomics; submissions are coarse (one task per worker
+    // per parallel_for), so the extra clock read is noise.
+    note_task_submitted();
+    const auto enqueued = std::chrono::steady_clock::now();
     {
       std::lock_guard lock(mutex_);
       if (stopping_) {
         throw StateError("ThreadPool::submit: pool is shutting down");
       }
-      queue_.emplace([task]() mutable { (*task)(); });
+      queue_.emplace([task, enqueued]() mutable {
+        note_queue_wait(enqueued);
+        (*task)();
+      });
     }
     cv_.notify_one();
     return fut;
@@ -72,6 +82,11 @@ class ThreadPool {
 
  private:
   void worker_loop();
+
+  /// Metrics hooks (defined in the .cpp so the header stays light).
+  static void note_task_submitted() noexcept;
+  static void note_queue_wait(
+      std::chrono::steady_clock::time_point enqueued) noexcept;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

@@ -1,0 +1,202 @@
+#include "common/trace.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace dsml::trace {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+struct Event {
+  std::string name;
+  const char* category = "";
+  char phase = 'X';  // 'X' complete span | 'C' counter
+  double ts_us = 0.0;
+  double dur_us = 0.0;   // spans only
+  double value = 0.0;    // counters only
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  // spans only
+};
+
+/// Small dense per-thread ids (Chrome's tid field) handed out in first-use
+/// order; 0 is whichever thread traced first, usually main.
+std::atomic<std::uint32_t> g_next_tid{0};
+
+std::uint32_t this_thread_id() noexcept {
+  thread_local const std::uint32_t id =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local std::uint32_t tls_depth = 0;
+
+/// Central collector. Guarded by one mutex: spans are coarse (epochs, folds,
+/// candidates, subcommands), so contention is negligible, and a single lock
+/// keeps the enabled path trivially TSan-clean.
+class Tracer {
+ public:
+  static Tracer& instance() {
+    // Leaked on purpose (never destroyed): worker threads may still observe
+    // trace::enabled() during static destruction, and a live-but-disabled
+    // tracer is safe where a destroyed one is not. The DSML_TRACE flush is
+    // handled by the EnvFlush guard below, not a Tracer destructor.
+    static Tracer* tracer = new Tracer;  // dsml-lint: allow(naked-new)
+    return *tracer;
+  }
+
+  void start(std::string path) {
+    std::lock_guard lock(mutex_);
+    events_.clear();
+    path_ = std::move(path);
+    origin_ = std::chrono::steady_clock::now();
+    g_enabled.store(true, std::memory_order_relaxed);
+  }
+
+  std::string stop() {
+    std::lock_guard lock(mutex_);
+    if (!g_enabled.load(std::memory_order_relaxed)) return "";
+    g_enabled.store(false, std::memory_order_relaxed);
+    const std::string text = serialize();
+    if (!path_.empty()) {
+      const std::filesystem::path p(path_);
+      if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+      }
+      std::ofstream out(path_, std::ios::binary);
+      if (!out) throw IoError("trace: cannot write '" + path_ + "'");
+      out << text;
+    }
+    events_.clear();
+    path_.clear();
+    return text;
+  }
+
+  double now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  void record(Event&& e) {
+    std::lock_guard lock(mutex_);
+    // Dropped if stop() won the race: the document is already serialized.
+    if (!g_enabled.load(std::memory_order_relaxed)) return;
+    events_.push_back(std::move(e));
+  }
+
+ private:
+  Tracer() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// Chrome trace-event JSON (the "JSON object format" with a traceEvents
+  /// array), built with the repo's own writer so tests can re-parse it.
+  std::string serialize() const {
+    json::Writer w;
+    w.begin_object();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents").begin_array();
+    for (const Event& e : events_) {
+      w.begin_object();
+      w.field("name", e.name);
+      w.field("cat", e.category);
+      w.field("ph", std::string_view(&e.phase, 1));
+      w.field("ts", e.ts_us);
+      if (e.phase == 'X') w.field("dur", e.dur_us);
+      w.field("pid", 1);
+      w.field("tid", static_cast<std::int64_t>(e.tid));
+      w.key("args").begin_object();
+      if (e.phase == 'X') {
+        w.field("depth", static_cast<std::int64_t>(e.depth));
+      } else {
+        w.field("value", e.value);
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::string path_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// DSML_TRACE=<file> starts collection before main() and flushes the file
+/// when the process exits normally.
+struct EnvFlush {
+  ~EnvFlush() {
+    if (armed && enabled()) {
+      try {
+        Tracer::instance().stop();
+      } catch (...) {  // dsml-lint: allow(catch-all-swallow)
+        // Exit-path flush: an unwritable path must not terminate the
+        // process; the trace is simply lost.
+      }
+    }
+  }
+  bool armed = false;
+};
+
+EnvFlush g_env_flush = [] {
+  EnvFlush flush;
+  if (const char* path = std::getenv("DSML_TRACE"); path && *path) {
+    Tracer::instance().start(path);
+    flush.armed = true;
+  }
+  return flush;
+}();
+
+}  // namespace
+
+double now_us() noexcept { return Tracer::instance().now_us(); }
+
+void record_span(std::string name, const char* category, double start_us,
+                 double dur_us, std::uint32_t depth) {
+  Event e;
+  e.name = std::move(name);
+  e.category = category;
+  e.phase = 'X';
+  e.ts_us = start_us;
+  e.dur_us = dur_us;
+  e.tid = this_thread_id();
+  e.depth = depth;
+  Tracer::instance().record(std::move(e));
+}
+
+void record_counter(const char* name, double value) {
+  Event e;
+  e.name = name;
+  e.category = "metrics";
+  e.phase = 'C';
+  e.ts_us = Tracer::instance().now_us();
+  e.value = value;
+  e.tid = this_thread_id();
+  Tracer::instance().record(std::move(e));
+}
+
+std::uint32_t current_depth() noexcept { return tls_depth; }
+void enter_depth() noexcept { ++tls_depth; }
+void leave_depth() noexcept { --tls_depth; }
+
+}  // namespace internal
+
+void start(std::string path) {
+  internal::Tracer::instance().start(std::move(path));
+}
+
+std::string stop() { return internal::Tracer::instance().stop(); }
+
+}  // namespace dsml::trace

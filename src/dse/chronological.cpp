@@ -1,10 +1,12 @@
 #include "dse/chronological.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace dsml::dse {
 
@@ -29,6 +31,12 @@ std::vector<std::string> ChronologicalResult::best_names(
 
 ChronologicalResult run_chronological(specdata::Family family,
                                       const ChronologicalOptions& options) {
+  trace::Span sweep_span(
+      [&] {
+        return std::string("run_chronological ") + specdata::to_string(family);
+      },
+      "dse");
+  static metrics::Counter& evals = metrics::counter("dse.model_evals");
   ChronologicalResult result;
   result.family = family;
 
@@ -48,15 +56,15 @@ ChronologicalResult run_chronological(specdata::Family family,
   double best_nn = std::numeric_limits<double>::infinity();
   double best_lr = std::numeric_limits<double>::infinity();
   for (const std::string& name : names) {
+    trace::Span eval_span([&] { return "evaluate " + name; }, "dse");
+    evals.add();
     const ml::NamedModel nm = ml::make_model(name, options.zoo);
-    const auto t0 = std::chrono::steady_clock::now();
+    trace::Stopwatch fit_timer;
     auto model = nm.make();
     model->fit(train);
     ChronoModelResult mr;
     mr.model = name;
-    mr.fit_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    mr.fit_seconds = fit_timer.seconds();
     const std::vector<double> predicted = model->predict(test);
     mr.error = ml::summarize_errors(predicted, test.target());
     result.models.push_back(mr);

@@ -1,11 +1,13 @@
 #include "dse/sampled.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "data/split.hpp"
 #include "ml/metrics.hpp"
 
@@ -26,6 +28,9 @@ SampledDseResult run_sampled_dse(const data::Dataset& full_space,
   DSML_REQUIRE(full_space.has_target(), "run_sampled_dse: dataset lacks target");
   DSML_REQUIRE(!options.sampling_rates.empty() && !options.model_names.empty(),
                "run_sampled_dse: empty rate or model menu");
+  trace::Span sweep_span(
+      [&] { return "run_sampled_dse " + app; }, "dse");
+  static metrics::Counter& evals = metrics::counter("dse.model_evals");
   SampledDseResult result;
   result.app = app;
 
@@ -48,6 +53,8 @@ SampledDseResult run_sampled_dse(const data::Dataset& full_space,
     std::vector<SampledRun> rate_runs(options.model_names.size());
     parallel_for(0, options.model_names.size(), [&](std::size_t i) {
       const std::string& model_name = options.model_names[i];
+      trace::Span eval_span([&] { return "evaluate " + model_name; }, "dse");
+      evals.add();
       const ml::NamedModel nm = ml::make_model(model_name, options.zoo);
 
       ml::ValidationOptions vopt;
@@ -57,12 +64,10 @@ SampledDseResult run_sampled_dse(const data::Dataset& full_space,
       const ml::ErrorEstimate estimate =
           ml::estimate_error(nm.make, train, vopt);
 
-      const auto t0 = std::chrono::steady_clock::now();
+      trace::Stopwatch fit_timer;
       auto model = nm.make();
       model->fit(train);
-      const double fit_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
+      const double fit_seconds = fit_timer.seconds();
 
       const std::vector<double> predicted = model->predict(full_space);
       const double true_error = ml::mape(predicted, full_space.target());

@@ -1,14 +1,15 @@
 #include "dse/sweep.hpp"
 
-#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "sim/core.hpp"
 #include "workload/generator.hpp"
 #include "workload/profiles.hpp"
@@ -74,6 +75,8 @@ SweepResult run_design_space_sweep(const std::string& app,
   DSML_REQUIRE(options.full_trace_instructions >=
                    options.interval_instructions * 2,
                "run_design_space_sweep: trace shorter than two intervals");
+  trace::Span sweep_span(
+      [&] { return "run_design_space_sweep " + app; }, "dse");
   SweepResult result;
   result.app = app;
 
@@ -82,7 +85,7 @@ SweepResult run_design_space_sweep(const std::string& app,
     return result;
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  trace::Stopwatch sweep_timer;
 
   const workload::AppProfile profile = workload::spec_profile(app);
   const sim::Trace full = workload::generate_trace(
@@ -94,16 +97,16 @@ SweepResult run_design_space_sweep(const std::string& app,
   const std::vector<sim::ProcessorConfig> space =
       sim::enumerate_design_space();
   result.cycles.assign(space.size(), 0.0);
+  static metrics::Counter& simulated = metrics::counter("dse.configs_simulated");
   parallel_for(0, space.size(), [&](std::size_t i) {
     const sim::SimResult r = sim::simulate(space[i], reduced);
+    simulated.add();
     result.cycles[i] = static_cast<double>(r.cycles);
   });
 
   result.simpoint_count = points.points.size();
   result.simulated_instructions = reduced.size();
-  result.seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.seconds = sweep_timer.seconds();
   if (options.use_cache) store_cache(path, result);
   return result;
 }

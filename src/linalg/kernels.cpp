@@ -3,12 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.hpp"
+
 namespace dsml::linalg {
 
 std::span<double> Workspace::take(std::size_t n) {
   if (used_ == slabs_.size()) slabs_.emplace_back();
   std::vector<double>& slab = slabs_[used_++];
-  if (slab.size() < n) slab.resize(n);
+  if (slab.size() < n) {
+    slab.resize(n);
+    // High-water mark of any single workspace slab; set_max keeps only the
+    // largest, so hot-loop re-takes of an already-sized slab never touch it.
+    static metrics::Gauge& high_water = metrics::gauge("linalg.workspace_bytes");
+    high_water.set_max(static_cast<double>(n * sizeof(double)));
+  }
   return {slab.data(), n};
 }
 
@@ -51,6 +59,8 @@ inline double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
 void gemm_accumulate(const double* a, std::size_t lda, const double* b,
                      std::size_t ldb, double* c, std::size_t ldc,
                      std::size_t m, std::size_t k, std::size_t n) {
+  static metrics::Counter& calls = metrics::counter("linalg.gemm_calls");
+  calls.add();
   // Depth-splitting pays only when B is too big to sit in L2 across a row
   // block: it then bounds the B working set so a tile loaded once is reused
   // by all kRowBlock rows. When B already fits, the split would just re-walk

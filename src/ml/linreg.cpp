@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "linalg/kernels.hpp"
 
 namespace dsml::ml {
@@ -91,6 +93,9 @@ LinearRegression::LinearRegression(Options options)
 
 void LinearRegression::fit(const data::Dataset& train) {
   DSML_REQUIRE(train.has_target(), "LinearRegression::fit: dataset lacks target");
+  trace::Span span("LinearRegression::fit", "ml");
+  static metrics::Counter& fits = metrics::counter("ml.linreg_fits");
+  fits.add();
   data::EncoderOptions enc;
   enc.mode = data::EncodingMode::kLinearRegression;
   enc.scale_inputs = true;

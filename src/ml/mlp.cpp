@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "linalg/kernels.hpp"
 
 namespace dsml::ml {
@@ -155,6 +157,9 @@ double Mlp::train_epoch(const linalg::Matrix& x, std::span<const double> y,
   DSML_REQUIRE(x.rows() == y.size() && !y.empty(),
                "Mlp::train_epoch: size mismatch");
   DSML_REQUIRE(x.cols() == n_inputs_, "Mlp::train_epoch: input width mismatch");
+  trace::Span span("Mlp::train_epoch", "ml");
+  static metrics::Counter& epochs = metrics::counter("ml.train_epochs");
+  epochs.add();
 
   std::vector<std::size_t> order(x.rows());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -221,7 +226,11 @@ double Mlp::train_epoch(const linalg::Matrix& x, std::span<const double> y,
       }
     }
   }
-  return ss / static_cast<double>(y.size());
+  const double mse = ss / static_cast<double>(y.size());
+  static metrics::Gauge& loss = metrics::gauge("ml.train_loss");
+  loss.set(mse);
+  trace::counter("ml.train_loss", mse);
+  return mse;
 }
 
 double Mlp::hidden_unit_saliency(std::size_t layer, std::size_t unit) const {

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "common/trace.hpp"
 #include "data/split.hpp"
 #include "ml/metrics.hpp"
 
@@ -301,6 +303,8 @@ void NeuralRegressor::fit(const data::Dataset& train) {
   DSML_REQUIRE(train.has_target(), "NeuralRegressor::fit: dataset lacks target");
   DSML_REQUIRE(train.n_rows() >= 4,
                "NeuralRegressor::fit: need at least 4 rows");
+  trace::Span span(
+      [&] { return std::string("NeuralRegressor::fit ") + name(); }, "ml");
   data::EncoderOptions enc;
   enc.mode = data::EncodingMode::kNeuralNetwork;
   enc.scale_inputs = true;

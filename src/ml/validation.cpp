@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "data/split.hpp"
 #include "ml/metrics.hpp"
 
@@ -30,7 +33,14 @@ ErrorEstimate estimate_error(const ModelFactory& factory,
   }
   ErrorEstimate est;
   est.folds.assign(options.repeats, 0.0);
+  trace::Span cv_span("ml::estimate_error", "ml");
+  static metrics::Counter& folds_run = metrics::counter("ml.cv_folds");
   parallel_for(0, options.repeats, [&](std::size_t rep) {
+    // Lazy name: the string is only built when tracing is live, and each
+    // fold's span lives on the thread that runs it (depth is thread-local,
+    // so concurrent folds nest correctly).
+    trace::Span fold_span([&] { return "fold " + std::to_string(rep); }, "ml");
+    folds_run.add();
     const auto& [fit_idx, holdout_idx] = splits[rep];
     const data::Dataset fit_part = train.select_rows(fit_idx);
     const data::Dataset holdout_part = train.select_rows(holdout_idx);
@@ -55,8 +65,11 @@ void SelectModel::fit(const data::Dataset& train) {
   // its Rng (seeded per candidate, so results are identical to the serial
   // order), and writes only its own estimates_ slot. The winner is picked
   // serially afterwards to keep tie-breaking deterministic.
+  trace::Span select_span("SelectModel::fit", "ml");
   estimates_.assign(candidates_.size(), ErrorEstimate{});
   parallel_for(0, candidates_.size(), [&](std::size_t i) {
+    trace::Span cand_span(
+        [&] { return "candidate " + candidates_[i].name; }, "ml");
     ValidationOptions opts = options_;
     opts.seed = options_.seed + i;  // folds differ per candidate, as when
                                     // each model is evaluated independently

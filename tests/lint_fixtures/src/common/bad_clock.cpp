@@ -1,0 +1,10 @@
+// Fixture: raw-clock-in-lib violation (direct std::chrono clock read in
+// library code), plus an allow-directive escape on the second read.
+#include <chrono>
+
+double elapsed_seconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 =
+      std::chrono::steady_clock::now();  // dsml-lint: allow(raw-clock-in-lib)
+  return std::chrono::duration<double>(t1 - t0).count();
+}

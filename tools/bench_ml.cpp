@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -398,7 +399,30 @@ bool check_drift(const std::string& path,
   bool ok = true;
   for (const auto& [model, error] : current) {
     if (!committed.contains(model)) continue;
-    const double old_error = committed.at(model).as_number();
+    // Non-finite entries must fail loudly: a NaN drifts past any relative
+    // threshold (every comparison is false), so without these checks a
+    // diverged model would sail through the gate.
+    if (!std::isfinite(error)) {
+      err << "bench --check: " << model << " current error is non-finite ("
+          << json::format_number(error) << ")\n";
+      ok = false;
+      continue;
+    }
+    double old_error = 0.0;
+    try {
+      old_error = committed.at(model).as_number();
+    } catch (const IoError&) {
+      err << "bench --check: " << model
+          << " baseline entry is not numeric in '" << path << "'\n";
+      ok = false;
+      continue;
+    }
+    if (!std::isfinite(old_error)) {
+      err << "bench --check: " << model << " baseline error is non-finite ("
+          << json::format_number(old_error) << ") in '" << path << "'\n";
+      ok = false;
+      continue;
+    }
     const double drift =
         std::abs(error - old_error) / std::max(std::abs(old_error), 1e-12);
     if (drift > 0.05) {

@@ -1,15 +1,20 @@
 #include "cli.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 
 #include "bench_ml.hpp"
 #include "common/csv.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "data/split.hpp"
 #include "dse/chronological.hpp"
 #include "dse/sampled.hpp"
@@ -48,10 +53,23 @@ Options parse_options(const std::vector<std::string>& args,
     const std::string& a = args[i];
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
-      if (i + 1 >= args.size()) {
-        throw InvalidArgument("missing value for --" + key);
+      // Boolean flags may appear bare ("--fast" == "--fast 1"), so
+      // `bench --fast --trace t.json` reads naturally; every other flag
+      // still requires an explicit value.
+      static const std::set<std::string> kBooleanFlags = {"fast"};
+      if (kBooleanFlags.count(key)) {
+        if (i + 1 < args.size() &&
+            (args[i + 1] == "0" || args[i + 1] == "1")) {
+          out.named[key] = args[++i];
+        } else {
+          out.named[key] = "1";
+        }
+      } else {
+        if (i + 1 >= args.size()) {
+          throw InvalidArgument("missing value for --" + key);
+        }
+        out.named[key] = args[++i];
       }
-      out.named[key] = args[++i];
     } else {
       out.positional.push_back(a);
     }
@@ -238,11 +256,38 @@ int cmd_bench(const Options& opt, std::ostream& out, std::ostream& err) {
   return bench_ml::run(options, out, err);
 }
 
+/// `dsml stats [--json F] [command args...]`: runs the nested command (if
+/// any), then dumps the metrics registry — the aggregate work counters the
+/// pipeline reported while the command ran.
+int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  std::vector<std::string> nested = args;
+  std::string json_path;
+  if (!nested.empty() && nested[0] == "--json") {
+    if (nested.size() < 2 || nested[1].rfind("--", 0) == 0) {
+      throw InvalidArgument("missing file for stats --json");
+    }
+    json_path = nested[1];
+    nested.erase(nested.begin(), nested.begin() + 2);
+  }
+  int rc = 0;
+  if (!nested.empty()) rc = run(nested, out, err);
+  metrics::print(out);
+  if (!json_path.empty()) {
+    json::Writer w;
+    metrics::write_json(w);
+    std::ofstream file(json_path, std::ios::binary);
+    if (!file) throw IoError("stats: cannot write '" + json_path + "'");
+    file << w.str() << '\n';
+  }
+  return rc;
+}
+
 }  // namespace
 
 std::string usage() {
   return
-      "usage: dsml <command> [options]\n"
+      "usage: dsml [--trace F] <command> [options]\n"
       "\n"
       "commands:\n"
       "  list                              enumerate apps, families, models\n"
@@ -252,8 +297,39 @@ std::string usage() {
       "  train   --app A --rate R --model M --out F [--seed S]\n"
       "  predict --model F [--top N]\n"
       "  bench   [--json F] [--check F] [--fast 1]   ML perf bench + JSON report\n"
-      "  lint    [--list-rules] [path...]   run the dsml-lint static checker\n";
+      "  stats   [--json F] [command...]   run command, dump metrics registry\n"
+      "  lint    [--list-rules] [path...]   run the dsml-lint static checker\n"
+      "\n"
+      "global options:\n"
+      "  --trace F   collect a Chrome trace (chrome://tracing) into F\n";
 }
+
+namespace {
+
+int dispatch(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  const std::string& cmd = args[0];
+  if (cmd == "lint") {
+    // Forwarded verbatim: lint has its own option grammar (bare paths and
+    // flag-style options with no values).
+    return lint::run({args.begin() + 1, args.end()}, out, err);
+  }
+  if (cmd == "stats") {
+    return cmd_stats({args.begin() + 1, args.end()}, out, err);
+  }
+  const Options opt = parse_options(args, 1);
+  if (cmd == "list") return cmd_list(out);
+  if (cmd == "sweep") return cmd_sweep(opt, out);
+  if (cmd == "sampled") return cmd_sampled(opt, out);
+  if (cmd == "chrono") return cmd_chrono(opt, out);
+  if (cmd == "train") return cmd_train(opt, out);
+  if (cmd == "predict") return cmd_predict(opt, out);
+  if (cmd == "bench") return cmd_bench(opt, out, err);
+  err << "unknown command '" << cmd << "'\n" << usage();
+  return 1;
+}
+
+}  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
@@ -262,22 +338,33 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     return args.empty() ? 1 : 0;
   }
   try {
-    const std::string& cmd = args[0];
-    if (cmd == "lint") {
-      // Forwarded verbatim: lint has its own option grammar (bare paths and
-      // flag-style options with no values).
-      return lint::run({args.begin() + 1, args.end()}, out, err);
+    // `--trace <file>` works on every subcommand (any position): it is
+    // extracted here, before dispatch, so command parsers (including lint's
+    // pass-through grammar) never see it.
+    std::vector<std::string> rest = args;
+    std::string trace_path;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i] != "--trace") continue;
+      if (i + 1 >= rest.size() || rest[i + 1].rfind("--", 0) == 0) {
+        throw InvalidArgument("missing file for --trace");
+      }
+      trace_path = rest[i + 1];
+      rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
+                 rest.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
     }
-    const Options opt = parse_options(args, 1);
-    if (cmd == "list") return cmd_list(out);
-    if (cmd == "sweep") return cmd_sweep(opt, out);
-    if (cmd == "sampled") return cmd_sampled(opt, out);
-    if (cmd == "chrono") return cmd_chrono(opt, out);
-    if (cmd == "train") return cmd_train(opt, out);
-    if (cmd == "predict") return cmd_predict(opt, out);
-    if (cmd == "bench") return cmd_bench(opt, out, err);
-    err << "unknown command '" << cmd << "'\n" << usage();
-    return 1;
+    if (rest.empty()) {
+      out << usage();
+      return 1;
+    }
+    if (!trace_path.empty()) trace::start(trace_path);
+    int rc;
+    {
+      trace::Span span([&] { return "dsml " + rest[0]; }, "cli");
+      rc = dispatch(rest, out, err);
+    }
+    if (!trace_path.empty()) trace::stop();
+    return rc;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -399,6 +399,30 @@ void rule_matrix_elem_in_loop(const std::string& file,
   }
 }
 
+/// Flags raw std::chrono clock reads in library code under src/. All timing
+/// there is supposed to flow through trace::Stopwatch / the tracing layer
+/// (common/trace.hpp), so profiling stays centralised and the
+/// tracing-disabled path provably reads no clock. The tracing layer itself
+/// and the thread pool's queue-wait probe are the sanctioned call sites.
+void rule_raw_clock_in_lib(const std::string& file,
+                           const std::string& normalized,
+                           const SourceModel& model,
+                           std::vector<Diagnostic>* out) {
+  if (!path_has_dir(normalized, "src")) return;
+  if (path_ends_with(normalized, "common/trace.hpp") ||
+      path_ends_with(normalized, "common/trace.cpp") ||
+      path_ends_with(normalized, "common/thread_pool.hpp") ||
+      path_ends_with(normalized, "common/thread_pool.cpp")) {
+    return;
+  }
+  static const std::regex kPattern(
+      R"((?:\bstd::chrono::)?\b(?:steady_clock|high_resolution_clock|system_clock)::now\s*\()");
+  scan_lines(file, model, kPattern, "raw-clock-in-lib",
+             "raw std::chrono clock read in library code; time through "
+             "trace::Stopwatch or a trace::Span (common/trace.hpp)",
+             out);
+}
+
 bool lintable_extension(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
@@ -425,6 +449,8 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"naked-new", "raw new/delete expression"},
       {"matrix-elem-in-loop",
        "per-element Matrix operator() access inside src/ml loops"},
+      {"raw-clock-in-lib",
+       "raw std::chrono clock read under src/ outside the tracing layer"},
       {"unknown-allow", "allow() directive naming an unknown rule"},
   };
   return kRules;
@@ -450,6 +476,7 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   rule_header_guard(path, normalized, model, &found);
   rule_naked_new(path, model, &found);
   rule_matrix_elem_in_loop(path, normalized, model, &found);
+  rule_raw_clock_in_lib(path, normalized, model, &found);
 
   std::vector<Diagnostic> kept;
   for (auto& d : found) {
