@@ -1,0 +1,50 @@
+#include "common/atomic_io.hpp"
+
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+
+namespace dsml::io {
+
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content) {
+  namespace fs = std::filesystem;
+  const fs::path parent = path.parent_path();
+  if (!parent.empty()) fs::create_directories(parent);
+
+  // Unique per destination, not per process: concurrent writers of the same
+  // artifact are already a logic error, and a stable name means a crashed
+  // run's leftover temp is overwritten by the next successful one.
+  fs::path tmp = path;
+  tmp += ".tmp";
+
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw IoError("cannot open temp file for writing: " + tmp.string());
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    DSML_FAIL("atomic_io.write");
+    out.flush();
+    if (!out) throw IoError("failed writing temp file: " + tmp.string());
+  } catch (...) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    throw;
+  }
+
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    throw IoError("failed renaming " + tmp.string() + " -> " + path.string() +
+                  ": " + ec.message());
+  }
+}
+
+}  // namespace dsml::io

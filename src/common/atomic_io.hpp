@@ -1,0 +1,22 @@
+// Crash-safe artifact writes.
+//
+// Model files and benchmark baselines are consumed by later runs; a process
+// killed mid-write must never leave a truncated artifact that parses as
+// garbage. write_file_atomic stages the content in a temp file *in the
+// destination directory* (rename() is only atomic within a filesystem) and
+// renames it over the target, so readers observe either the old file or the
+// complete new one.
+#pragma once
+
+#include <filesystem>
+#include <string_view>
+
+namespace dsml::io {
+
+/// Writes `content` to `path` atomically: temp file + flush + rename.
+/// Creates parent directories as needed. Throws IoError on any failure,
+/// removing the temp file first.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view content);
+
+}  // namespace dsml::io

@@ -36,6 +36,61 @@ class IoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when model training fails in a way the caller may want to degrade
+/// around (a diverged fold, a candidate whose every retry exhausted, ...).
+/// Carries the model name and a free-form context ("fold 3", "final fit") so
+/// failure summaries can say *where* training died, not just that it did.
+class TrainingError : public std::runtime_error {
+ public:
+  TrainingError(std::string model, std::string context,
+                const std::string& message)
+      : std::runtime_error(compose(model, context, message)),
+        model_(std::move(model)),
+        context_(std::move(context)) {}
+
+  const std::string& model() const noexcept { return model_; }
+  const std::string& context() const noexcept { return context_; }
+
+ private:
+  static std::string compose(const std::string& model,
+                             const std::string& context,
+                             const std::string& message) {
+    std::string out = "training failed";
+    if (!model.empty()) out += " [" + model + "]";
+    if (!context.empty()) out += " (" + context + ")";
+    return out + ": " + message;
+  }
+
+  std::string model_;
+  std::string context_;
+};
+
+/// One tolerated failure, as recorded by the graceful-degradation paths
+/// (SelectModel::fit, the dse drivers): what failed, which taxonomy type it
+/// raised, and its message. Printed in the CLI failure summaries.
+struct FailureRecord {
+  std::string name;        ///< e.g. "NN-E", "NN-Q fold 2", "LR-B@1%"
+  std::string error_type;  ///< taxonomy name from error_kind()
+  std::string message;
+};
+
+/// Taxonomy name of an exception for failure records ("NumericalError",
+/// "IoError", ...); "std::exception" for anything outside the taxonomy.
+inline const char* error_kind(const std::exception& e) noexcept {
+  if (dynamic_cast<const TrainingError*>(&e) != nullptr) {
+    return "TrainingError";
+  }
+  if (dynamic_cast<const NumericalError*>(&e) != nullptr) {
+    return "NumericalError";
+  }
+  if (dynamic_cast<const IoError*>(&e) != nullptr) return "IoError";
+  if (dynamic_cast<const InvalidArgument*>(&e) != nullptr) {
+    return "InvalidArgument";
+  }
+  if (dynamic_cast<const StateError*>(&e) != nullptr) return "StateError";
+  return "std::exception";
+}
+
 namespace detail {
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line) {

@@ -1,0 +1,104 @@
+// Deterministic fault injection: named failpoints that library code declares
+// with DSML_FAIL("name") and that tests/operators arm with a spec string via
+// the global `--failpoints <spec>` CLI flag or the DSML_FAILPOINTS env var.
+//
+// Spec grammar (comma-separated `name=trigger` entries):
+//
+//   estimate_error.fold=nth:2          fire on exactly the 2nd hit
+//   linreg.solve=prob:0.1@42           fire each hit with p=0.1, derived
+//                                      deterministically from seed 42 and the
+//                                      hit index (no global RNG is consumed)
+//   serialize.save=err:IoError         fire on every hit, throwing the named
+//                                      taxonomy type (NumericalError, IoError,
+//                                      InvalidArgument, StateError,
+//                                      TrainingError)
+//
+// nth/prob triggers throw NumericalError by default. A firing failpoint
+// throws out of DSML_FAIL; the boolean form DSML_FAIL_POISON only *reports*
+// the fire so the caller can corrupt its own state (e.g. poison an epoch loss
+// to NaN) and exercise a recovery path that is not exception-shaped.
+//
+// Overhead contract (same discipline as common/trace.hpp, pinned by
+// tests/test_fault_injection.cpp): with no spec configured every DSML_FAIL is
+// one relaxed atomic load and a branch — no lock, no lookup, no string.
+// Model outputs are bit-identical with the layer compiled in, armed-but-not-
+// matching, or absent, because hits never consume library RNG streams.
+//
+// Concurrency: hits may come from any pool worker (the TSan suite fires
+// failpoints from concurrent cross-validation folds). Hit accounting is a
+// single mutex-guarded registry — firing sites are coarse (folds, candidates,
+// solves), so contention is irrelevant and the enabled path is trivially
+// TSan-clean. Every hit/fire is mirrored to the metrics registry as
+// `failpoint.<name>.hits` / `failpoint.<name>.fires`.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace dsml::failpoint {
+
+namespace internal {
+
+/// The one branch the disabled path pays. Relaxed is sufficient: a stale
+/// read merely arms/disarms one hit late, never tears data.
+extern std::atomic<bool> g_enabled;
+
+/// Records a hit on `name`; throws the configured error if the trigger
+/// fires. Unarmed names count a hit and return.
+void hit(const char* name);
+
+/// Boolean form: true if the trigger fires (never throws).
+bool hit_poison(const char* name);
+
+}  // namespace internal
+
+/// True while at least one failpoint is armed.
+inline bool enabled() noexcept {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Replaces the armed set with `spec` (see grammar above); "" disarms
+/// everything. Throws InvalidArgument on a malformed spec, leaving the
+/// previous configuration in place. Hit counters reset.
+void configure(const std::string& spec);
+
+/// Disarms every failpoint.
+void clear();
+
+/// Names currently armed, in spec order (diagnostics/tests).
+std::vector<std::string> armed();
+
+/// Hits recorded against `name` since it was configured (0 if unarmed).
+std::uint64_t hits(const std::string& name);
+
+/// RAII arming: configures on construction, restores the previous spec on
+/// destruction. The CLI flag and fault tests use this so configuration never
+/// leaks across commands or test cases.
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(const std::string& spec);
+  ~ScopedFailpoints();
+
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace dsml::failpoint
+
+/// Declares a failpoint. Disabled cost: one relaxed load + branch.
+#define DSML_FAIL(name)                                   \
+  do {                                                    \
+    if (::dsml::failpoint::enabled()) {                   \
+      ::dsml::failpoint::internal::hit(name);             \
+    }                                                     \
+  } while (false)
+
+/// Boolean failpoint for corrupting state instead of throwing: evaluates to
+/// true when the named trigger fires.
+#define DSML_FAIL_POISON(name)         \
+  (::dsml::failpoint::enabled() &&     \
+   ::dsml::failpoint::internal::hit_poison(name))

@@ -1,0 +1,22 @@
+#include "common/retry.hpp"
+
+#include "common/metrics.hpp"
+
+namespace dsml::retry_detail {
+
+void count_attempt() noexcept {
+  static metrics::Counter& c = metrics::counter("retry.attempts");
+  c.add();
+}
+
+void count_recovered() noexcept {
+  static metrics::Counter& c = metrics::counter("retry.recovered");
+  c.add();
+}
+
+void count_exhausted() noexcept {
+  static metrics::Counter& c = metrics::counter("retry.exhausted");
+  c.add();
+}
+
+}  // namespace dsml::retry_detail

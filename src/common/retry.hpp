@@ -1,0 +1,66 @@
+// Bounded deterministic retry for recoverable training/solve failures.
+//
+// The policy is intentionally tiny: `retry(n, reseed, op)` runs `op(attempt)`
+// for attempt 0..n-1. Attempt 0 must be the historical code path untouched —
+// bit-identity of the no-failure case is part of the library's contract — so
+// `reseed(attempt)` is only invoked before attempts >= 1, where the caller
+// derives a fresh deterministic RNG seed (and typically damps the step size,
+// e.g. NN training halves the learning rate per attempt; LR solves escalate a
+// ridge penalty). Only NumericalError and TrainingError are considered
+// recoverable; anything else (bad input, I/O) propagates immediately, and the
+// last recoverable error is rethrown once attempts are exhausted.
+//
+// Attempt accounting lands in the metrics registry (`retry.attempts`,
+// `retry.recovered`, `retry.exhausted`) via the out-of-line hooks below, so
+// fault tests can assert that a retry actually happened.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dsml {
+
+namespace retry_detail {
+void count_attempt() noexcept;    ///< bumps retry.attempts
+void count_recovered() noexcept;  ///< bumps retry.recovered
+void count_exhausted() noexcept;  ///< bumps retry.exhausted
+}  // namespace retry_detail
+
+/// Runs `op(attempt)` up to `attempts` times (attempt is 0-based), calling
+/// `reseed(attempt)` before each retry. Returns op's result. See the policy
+/// comment above for what counts as recoverable.
+template <typename Reseed, typename Op>
+auto retry(std::size_t attempts, Reseed&& reseed, Op&& op) {
+  DSML_REQUIRE(attempts >= 1, "retry: need at least one attempt");
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      if (attempt > 0) {
+        retry_detail::count_attempt();
+        reseed(attempt);
+      }
+      if constexpr (std::is_void_v<std::invoke_result_t<Op&, std::size_t>>) {
+        op(attempt);
+        if (attempt > 0) retry_detail::count_recovered();
+        return;
+      } else {
+        auto result = op(attempt);
+        if (attempt > 0) retry_detail::count_recovered();
+        return result;
+      }
+    } catch (const std::exception& e) {
+      const bool recoverable =
+          dynamic_cast<const NumericalError*>(&e) != nullptr ||
+          dynamic_cast<const TrainingError*>(&e) != nullptr;
+      if (!recoverable) throw;
+      if (attempt + 1 >= attempts) {
+        retry_detail::count_exhausted();
+        throw;
+      }
+    }
+  }
+}
+
+}  // namespace dsml

@@ -33,10 +33,35 @@ void Writer::u64_vector(const std::vector<std::uint64_t>& v) {
   for (std::uint64_t x : v) u64(x);
 }
 
+std::int64_t Reader::offset() const {
+  // Query the buffer directly: tellg() reports -1 once the stream has hit
+  // eof/fail, which is exactly when truncation errors need the position.
+  if (in_.rdbuf() == nullptr) return -1;
+  const auto pos =
+      in_.rdbuf()->pubseekoff(0, std::ios_base::cur, std::ios_base::in);
+  return static_cast<std::int64_t>(pos);
+}
+
+void Reader::fail_truncated() const {
+  throw IoError("serial: unexpected end of input at byte " +
+                std::to_string(offset()));
+}
+
 std::string Reader::token() {
   std::string t;
-  if (!(in_ >> t)) throw IoError("serial: unexpected end of input");
+  if (!(in_ >> t)) fail_truncated();
   return t;
+}
+
+void Reader::expect_end() {
+  std::string t;
+  if (in_ >> t) {
+    const std::int64_t end = offset();
+    const std::int64_t start =
+        end < 0 ? -1 : end - static_cast<std::int64_t>(t.size());
+    throw IoError("serial: trailing garbage at byte " + std::to_string(start) +
+                  " starting with '" + t + "'");
+  }
 }
 
 void Reader::expect_tag(const std::string& expected) {
@@ -54,7 +79,8 @@ std::uint64_t Reader::u64() {
   char* end = nullptr;
   const std::uint64_t v = std::strtoull(t.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') {
-    throw IoError("serial: bad u64 '" + t + "'");
+    throw IoError("serial: bad u64 '" + t + "' before byte " +
+                  std::to_string(offset()));
   }
   return v;
 }
@@ -64,7 +90,8 @@ std::int64_t Reader::i64() {
   char* end = nullptr;
   const std::int64_t v = std::strtoll(t.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') {
-    throw IoError("serial: bad i64 '" + t + "'");
+    throw IoError("serial: bad i64 '" + t + "' before byte " +
+                  std::to_string(offset()));
   }
   return v;
 }
@@ -74,7 +101,8 @@ double Reader::f64() {
   char* end = nullptr;
   const double v = std::strtod(t.c_str(), &end);
   if (end == nullptr || *end != '\0') {
-    throw IoError("serial: bad double '" + t + "'");
+    throw IoError("serial: bad double '" + t + "' before byte " +
+                  std::to_string(offset()));
   }
   return v;
 }
@@ -85,17 +113,21 @@ std::string Reader::str() {
   // Skip whitespace, read "<len>:<bytes>".
   std::size_t len = 0;
   char c;
-  if (!(in_ >> c)) throw IoError("serial: unexpected end of input");
+  if (!(in_ >> c)) fail_truncated();
   std::string digits;
   while (c != ':') {
-    if (c < '0' || c > '9') throw IoError("serial: bad string length");
+    if (c < '0' || c > '9') {
+      throw IoError("serial: bad string length before byte " +
+                    std::to_string(offset()));
+    }
     digits += c;
-    if (!in_.get(c)) throw IoError("serial: unexpected end of input");
+    if (!in_.get(c)) fail_truncated();
   }
   len = std::strtoull(digits.c_str(), nullptr, 10);
   std::string s(len, '\0');
   if (len > 0 && !in_.read(s.data(), static_cast<std::streamsize>(len))) {
-    throw IoError("serial: truncated string");
+    throw IoError("serial: truncated string (wanted " + std::to_string(len) +
+                  " bytes) at byte " + std::to_string(offset()));
   }
   return s;
 }

@@ -52,8 +52,19 @@ class Reader {
   std::vector<double> f64_vector();
   std::vector<std::uint64_t> u64_vector();
 
+  /// Requires that only whitespace remains; throws IoError naming the byte
+  /// offset of the first trailing token otherwise. Call after the last field
+  /// so a concatenated/corrupted artifact cannot pass as a clean load.
+  void expect_end();
+
+  /// Current byte offset in the stream (best effort: -1 if the stream does
+  /// not support tellg). Reported in every truncation/garbage IoError so a
+  /// corrupt artifact can be inspected with `xxd -s <offset>`.
+  std::int64_t offset() const;
+
  private:
   std::string token();
+  [[noreturn]] void fail_truncated() const;
 
   std::istream& in_;
 };

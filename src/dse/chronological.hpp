@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
 #include "specdata/generator.hpp"
@@ -45,9 +46,14 @@ struct ChronologicalResult {
   std::vector<ml::PredictorImportance> nn_importance;
   /// Standardized betas of the best-performing LR model.
   std::vector<ml::PredictorImportance> lr_importance;
+
+  /// Models whose fit/predict threw and were dropped from `models`.
+  std::vector<FailureRecord> failures;
 };
 
-/// Run the chronological experiment for one processor family.
+/// Run the chronological experiment for one processor family. A model that
+/// throws is recorded in `ChronologicalResult::failures` and skipped;
+/// TrainingError is thrown only if every model in the menu fails.
 ChronologicalResult run_chronological(specdata::Family family,
                                       const ChronologicalOptions& options = {});
 

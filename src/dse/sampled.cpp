@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
@@ -50,42 +52,73 @@ SampledDseResult run_sampled_dse(const data::Dataset& full_space,
     // iteration owns its models and seeds and writes only rate_runs[i];
     // the Select reduction below stays serial so tie-breaking matches the
     // historical menu order exactly.
-    std::vector<SampledRun> rate_runs(options.model_names.size());
+    // A cell whose evaluation throws is dropped (recorded as a failure)
+    // instead of killing the whole panel; tolerated fold failures from
+    // surviving cells are carried along for the summary.
+    struct EvalSlot {
+      std::optional<SampledRun> run;
+      std::vector<ml::FoldFailure> fold_failures;
+      std::optional<FailureRecord> failure;
+    };
+    const std::string rate_label =
+        std::to_string(static_cast<int>(rate * 100.0 + 0.5)) + "%";
+    std::vector<EvalSlot> slots(options.model_names.size());
     parallel_for(0, options.model_names.size(), [&](std::size_t i) {
       const std::string& model_name = options.model_names[i];
       trace::Span eval_span([&] { return "evaluate " + model_name; }, "dse");
       evals.add();
-      const ml::NamedModel nm = ml::make_model(model_name, options.zoo);
+      try {
+        DSML_FAIL("dse.sampled.eval");
+        const ml::NamedModel nm = ml::make_model(model_name, options.zoo);
 
-      ml::ValidationOptions vopt;
-      vopt.repeats = options.cv_repeats;
-      vopt.seed = options.sample_seed * 977 + static_cast<std::uint64_t>(
-                      rate * 1000.0);
-      const ml::ErrorEstimate estimate =
-          ml::estimate_error(nm.make, train, vopt);
+        ml::ValidationOptions vopt;
+        vopt.repeats = options.cv_repeats;
+        vopt.seed = options.sample_seed * 977 + static_cast<std::uint64_t>(
+                        rate * 1000.0);
+        const ml::ErrorEstimate estimate =
+            ml::estimate_error(nm.make, train, vopt);
+        slots[i].fold_failures = estimate.failed;
 
-      trace::Stopwatch fit_timer;
-      auto model = nm.make();
-      model->fit(train);
-      const double fit_seconds = fit_timer.seconds();
+        trace::Stopwatch fit_timer;
+        auto model = nm.make();
+        model->fit(train);
+        const double fit_seconds = fit_timer.seconds();
 
-      const std::vector<double> predicted = model->predict(full_space);
-      const double true_error = ml::mape(predicted, full_space.target());
+        const std::vector<double> predicted = model->predict(full_space);
+        const double true_error = ml::mape(predicted, full_space.target());
 
-      SampledRun run;
-      run.model = model_name;
-      run.rate = rate;
-      run.estimated_error_max = estimate.maximum;
-      run.estimated_error_avg = estimate.average;
-      run.true_error = true_error;
-      run.fit_seconds = fit_seconds;
-      rate_runs[i] = std::move(run);
+        SampledRun run;
+        run.model = model_name;
+        run.rate = rate;
+        run.estimated_error_max = estimate.maximum;
+        run.estimated_error_avg = estimate.average;
+        run.true_error = true_error;
+        run.fit_seconds = fit_seconds;
+        slots[i].run = std::move(run);
+      } catch (const std::exception& e) {
+        slots[i].failure = FailureRecord{model_name + "@" + rate_label,
+                                         error_kind(e), e.what()};
+      }
     });
 
     double best_estimate = std::numeric_limits<double>::infinity();
     SelectRun select_row;
     select_row.rate = rate;
-    for (const SampledRun& run : rate_runs) {
+    bool any_survivor = false;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      EvalSlot& slot = slots[i];
+      if (slot.failure.has_value()) {
+        result.failures.push_back(std::move(*slot.failure));
+        continue;
+      }
+      for (const ml::FoldFailure& f : slot.fold_failures) {
+        result.failures.push_back(FailureRecord{
+            options.model_names[i] + "@" + rate_label + " fold " +
+                std::to_string(f.fold),
+            f.error_type, f.message});
+      }
+      const SampledRun& run = *slot.run;
+      any_survivor = true;
       if (run.estimated_error_max < best_estimate) {
         best_estimate = run.estimated_error_max;
         select_row.chosen_model = run.model;
@@ -94,7 +127,13 @@ SampledDseResult run_sampled_dse(const data::Dataset& full_space,
       }
       result.runs.push_back(run);
     }
-    result.select.push_back(select_row);
+    // The Select meta-row only exists where at least one model survived.
+    if (any_survivor) result.select.push_back(select_row);
+  }
+  if (result.runs.empty()) {
+    throw TrainingError("run_sampled_dse", app,
+                        "every model evaluation failed; first: " +
+                            result.failures.front().message);
   }
   return result;
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "data/dataset.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/validation.hpp"
@@ -48,12 +49,19 @@ struct SampledDseResult {
   std::string app;
   std::vector<SampledRun> runs;      ///< model-major, rate-minor
   std::vector<SelectRun> select;     ///< one per sampling rate
+  /// Model evaluations that threw and were tolerated ("<model>@<rate%>"),
+  /// plus fold-level failures from evaluations that survived. The run as a
+  /// whole only fails if every evaluation fails.
+  std::vector<FailureRecord> failures;
 
   const SampledRun& run(const std::string& model, double rate) const;
 };
 
 /// Run the experiment on a full-design-space dataset (4608 rows with cycle
-/// targets, from dse::sweep_dataset).
+/// targets, from dse::sweep_dataset). Per-model failures are degraded into
+/// `SampledDseResult::failures` (the failed cell is dropped, its rate's
+/// Select row considers only survivors); TrainingError is thrown only when
+/// no evaluation at all succeeds.
 SampledDseResult run_sampled_dse(const data::Dataset& full_space,
                                  const std::string& app,
                                  const SampledDseOptions& options = {});

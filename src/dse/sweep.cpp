@@ -6,6 +6,7 @@
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
@@ -37,22 +38,37 @@ std::string cache_path(const std::string& app, const SweepOptions& options) {
 
 bool load_cached(const std::string& path, SweepResult& result) {
   if (!std::filesystem::exists(path)) return false;
-  const csv::Table table = csv::read_file(path);
-  const std::size_t cyc = table.column_index("cycles");
-  const std::size_t pts = table.column_index("simpoints");
-  const std::size_t ins = table.column_index("instructions");
-  if (table.rows.size() != sim::kDesignSpaceSize) return false;
-  result.cycles.clear();
-  result.cycles.reserve(table.rows.size());
-  for (const auto& row : table.rows) {
-    result.cycles.push_back(strings::parse_double(row[cyc]));
+  // A corrupt cache (torn write from a killed run, hand-edited file) is
+  // treated exactly like a missing one: fall through to re-simulation rather
+  // than failing the sweep over a discardable artifact.
+  try {
+    DSML_FAIL("dse.sweep.cache_load");
+    const csv::Table table = csv::read_file(path);
+    const std::size_t cyc = table.column_index("cycles");
+    const std::size_t pts = table.column_index("simpoints");
+    const std::size_t ins = table.column_index("instructions");
+    if (table.rows.size() != sim::kDesignSpaceSize) return false;
+    result.cycles.clear();
+    result.cycles.reserve(table.rows.size());
+    for (const auto& row : table.rows) {
+      result.cycles.push_back(strings::parse_double(row[cyc]));
+    }
+    result.simpoint_count =
+        static_cast<std::size_t>(strings::parse_double(table.rows[0][pts]));
+    result.simulated_instructions =
+        static_cast<std::size_t>(strings::parse_double(table.rows[0][ins]));
+    result.from_cache = true;
+    return true;
+  } catch (const std::exception&) {
+    static metrics::Counter& bad_cache =
+        metrics::counter("dse.cache_load_failures");
+    bad_cache.add();
+    result.cycles.clear();
+    result.simpoint_count = 0;
+    result.simulated_instructions = 0;
+    result.from_cache = false;
+    return false;
   }
-  result.simpoint_count =
-      static_cast<std::size_t>(strings::parse_double(table.rows[0][pts]));
-  result.simulated_instructions =
-      static_cast<std::size_t>(strings::parse_double(table.rows[0][ins]));
-  result.from_cache = true;
-  return true;
 }
 
 void store_cache(const std::string& path, const SweepResult& result) {
@@ -107,7 +123,17 @@ SweepResult run_design_space_sweep(const std::string& app,
   result.simpoint_count = points.points.size();
   result.simulated_instructions = reduced.size();
   result.seconds = sweep_timer.seconds();
-  if (options.use_cache) store_cache(path, result);
+  if (options.use_cache) {
+    // The cache is an optimisation; failing to persist it (read-only dir,
+    // full disk) must not fail a sweep that already computed its results.
+    try {
+      store_cache(path, result);
+    } catch (const std::exception&) {
+      static metrics::Counter& bad_store =
+          metrics::counter("dse.cache_store_failures");
+      bad_store.add();
+    }
+  }
   return result;
 }
 

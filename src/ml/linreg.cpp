@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
+#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
+#include "common/retry.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
@@ -30,12 +33,57 @@ OlsFit fit_ols(const linalg::Matrix& x, std::span<const double> y,
                "fit_ols: need more observations than coefficients");
 
   const linalg::Matrix xs = x.select_columns(columns);
-  const linalg::QR qr(xs);
   OlsFit fit;
   fit.columns.assign(columns.begin(), columns.end());
-  fit.beta = qr.solve(y);
   fit.n = x.rows();
   fit.dof = fit.n - columns.size();
+
+  // Attempt 0 is the historical Householder QR path, untouched — a clean
+  // solve is bit-identical to the pre-retry implementation. If it throws
+  // NumericalError (singular to working precision) or produces non-finite
+  // coefficients, attempts 1..2 fall back to ridge-regularised normal
+  // equations (X^T X + lambda I) with an escalating penalty before giving
+  // up. The ridge path zeroes inference statistics like any rank-deficient
+  // fit; OlsFit::ridge_fallback records that it happened.
+  static constexpr double kRidge[] = {0.0, 1e-8, 1e-4};
+  std::optional<linalg::QR> qr;
+  std::optional<linalg::Cholesky> ridge_chol;
+  retry(
+      3, [](std::size_t) { /* no RNG involved in an OLS solve */ },
+      [&](std::size_t attempt) {
+        if (attempt == 0) {
+          DSML_FAIL("linreg.solve");
+          qr.emplace(xs);
+          fit.beta = qr->solve(y);
+        } else {
+          qr.reset();
+          fit.ridge_fallback = true;
+          static metrics::Counter& ridge_solves =
+              metrics::counter("ml.linreg_ridge_solves");
+          ridge_solves.add();
+          linalg::Matrix xtx = xs.transposed().multiply(xs);
+          // Scale the penalty by the largest Gram diagonal so lambda means
+          // the same thing for standardized and raw designs.
+          double max_diag = 0.0;
+          for (std::size_t j = 0; j < xtx.cols(); ++j) {
+            max_diag = std::max(
+                max_diag, xtx(j, j));  // dsml-lint: allow(matrix-elem-in-loop)
+          }
+          const double lambda =
+              kRidge[attempt] * (max_diag > 0.0 ? max_diag : 1.0);
+          for (std::size_t j = 0; j < xtx.cols(); ++j) {
+            xtx(j, j) += lambda;  // dsml-lint: allow(matrix-elem-in-loop)
+          }
+          const linalg::Vector xty = xs.multiply_transposed(y);
+          ridge_chol.emplace(xtx);
+          fit.beta = ridge_chol->solve(xty);
+        }
+        for (double b : fit.beta) {
+          if (!std::isfinite(b)) {
+            throw NumericalError("fit_ols: non-finite coefficients");
+          }
+        }
+      });
 
   // Residuals and sums of squares.
   const linalg::Vector yhat = xs.multiply(fit.beta);
@@ -57,8 +105,18 @@ OlsFit fit_ols(const linalg::Matrix& x, std::span<const double> y,
   fit.std_errors.assign(columns.size(), 0.0);
   fit.t_stats.assign(columns.size(), 0.0);
   fit.p_values.assign(columns.size(), 1.0);
-  if (!qr.rank_deficient() && fit.dof > 0) {
-    const linalg::Matrix cov_kernel = linalg::xtx_inverse_from_qr(qr);
+  // The ridge fallback's penalties are tiny relative to the Gram diagonal,
+  // so inverting the regularised Gram matrix is an accurate (X^T X)^-1
+  // surrogate — without it every fallback p-value would be 1.0 and the
+  // stepwise procedures would strip the model down to its intercept.
+  std::optional<linalg::Matrix> cov;
+  if (qr.has_value() && !qr->rank_deficient() && fit.dof > 0) {
+    cov = linalg::xtx_inverse_from_qr(*qr);
+  } else if (ridge_chol.has_value() && fit.dof > 0) {
+    cov = ridge_chol->inverse();
+  }
+  if (cov.has_value()) {
+    const linalg::Matrix& cov_kernel = *cov;
     for (std::size_t j = 0; j < columns.size(); ++j) {
       // Diagonal-only read, once per fit.
       const double var =
@@ -107,6 +165,16 @@ void LinearRegression::fit(const data::Dataset& train) {
 
   const linalg::Matrix x = encoder_.encode(train);
   const std::vector<double> y = encoder_.encode_target(train);
+  // Degenerate-data guards: the encoder drops constant columns, so a design
+  // with only the intercept left means no predictor varies at all, and a
+  // non-finite target would silently poison every sum of squares.
+  DSML_REQUIRE(x.cols() >= 2,
+               "LinearRegression::fit: no varying predictors (every feature "
+               "column is constant)");
+  for (double v : y) {
+    DSML_REQUIRE(std::isfinite(v),
+                 "LinearRegression::fit: target contains non-finite values");
+  }
 
   // Per-column standard deviations for standardized betas. One row-major
   // sweep with row spans rather than a per-column x(i, j) walk; each column's

@@ -42,6 +42,10 @@ struct OlsFit {
   double adjusted_r2 = 0.0;
   std::size_t n = 0;                  ///< observations
   std::size_t dof = 0;                ///< residual degrees of freedom
+  /// Diagnostic only (not serialized): true when the QR solve failed and the
+  /// coefficients came from the ridge-regularised fallback; inference
+  /// statistics are zeroed in that case, like any rank-deficient fit.
+  bool ridge_fallback = false;
 };
 
 /// Fit OLS on the given columns of X (X must contain an intercept column that

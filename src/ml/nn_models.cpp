@@ -5,6 +5,8 @@
 #include <limits>
 #include <string>
 
+#include "common/failpoint.hpp"
+#include "common/retry.hpp"
 #include "common/trace.hpp"
 #include "data/split.hpp"
 #include "ml/metrics.hpp"
@@ -55,35 +57,65 @@ std::size_t NeuralRegressor::scaled(std::size_t epochs) const {
 
 // Train a fresh network with exponentially decaying learning rate (lr0→lr1),
 // snapshotting the weights whenever validation error improves.
+//
+// SGD with momentum can blow up (non-finite epoch loss) on an unlucky weight
+// draw; rather than returning a poisoned network, a diverged attempt throws
+// TrainingError and is retried up to twice with halved learning rates and a
+// fresh deterministic seed. Attempt 0 consumes the caller's RNG with the
+// original rates, so a run that never diverges is bit-identical to the
+// pre-retry implementation.
 NeuralRegressor::Candidate NeuralRegressor::train_candidate(
     std::vector<std::size_t> hidden, const linalg::Matrix& x_learn,
     std::span<const double> y_learn, const linalg::Matrix& x_val,
     std::span<const double> y_val, std::size_t max_epochs, double lr0,
     double lr1, std::size_t patience, Rng& rng) const {
-  Mlp net(x_learn.cols(), std::move(hidden), rng);
-  const double scale = lr_scale(net);
-  lr0 *= scale;
-  lr1 *= scale;
-  Candidate best{net, net.mse(x_val, y_val)};
-  const double decay =
-      max_epochs > 1 ? std::pow(lr1 / lr0,
-                                1.0 / static_cast<double>(max_epochs - 1))
-                     : 1.0;
-  double lr = lr0;
-  std::size_t since_improve = 0;
-  for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
-    net.train_epoch(x_learn, y_learn, lr, options_.momentum, rng);
-    lr *= decay;
-    const double val = net.mse(x_val, y_val);
-    if (val < best.val_mse * (1.0 - 1e-5)) {
-      best.net = net;
-      best.val_mse = val;
-      since_improve = 0;
-    } else if (++since_improve >= patience) {
-      break;
+  auto attempt_once = [&](double a_lr0, double a_lr1, Rng& r) -> Candidate {
+    Mlp net(x_learn.cols(), hidden, r);
+    const double scale = lr_scale(net);
+    a_lr0 *= scale;
+    a_lr1 *= scale;
+    Candidate best{net, net.mse(x_val, y_val)};
+    const double decay =
+        max_epochs > 1 ? std::pow(a_lr1 / a_lr0,
+                                  1.0 / static_cast<double>(max_epochs - 1))
+                       : 1.0;
+    double lr = a_lr0;
+    std::size_t since_improve = 0;
+    for (std::size_t epoch = 0; epoch < max_epochs; ++epoch) {
+      const double train_mse =
+          net.train_epoch(x_learn, y_learn, lr, options_.momentum, r);
+      lr *= decay;
+      const double val = net.mse(x_val, y_val);
+      if (DSML_FAIL_POISON("nn.nonfinite_loss") || !std::isfinite(train_mse) ||
+          !std::isfinite(val)) {
+        throw TrainingError(to_string(options_.method),
+                            "epoch " + std::to_string(epoch),
+                            "non-finite loss (training diverged)");
+      }
+      if (val < best.val_mse * (1.0 - 1e-5)) {
+        best.net = net;
+        best.val_mse = val;
+        since_improve = 0;
+      } else if (++since_improve >= patience) {
+        break;
+      }
     }
-  }
-  return best;
+    return best;
+  };
+  // Retries must not consume the caller's RNG (that would shift every later
+  // draw even on clean runs), so they use a private generator reseeded from
+  // the configured seed and the attempt index.
+  Rng retry_rng(options_.seed);
+  return retry(
+      3,
+      [&](std::size_t attempt) {
+        retry_rng.reseed(options_.seed + 0x9E3779B97F4A7C15ULL * attempt);
+      },
+      [&](std::size_t attempt) {
+        const double damp = 1.0 / static_cast<double>(std::size_t{1} << attempt);
+        return attempt_once(lr0 * damp, lr1 * damp,
+                            attempt == 0 ? rng : retry_rng);
+      });
 }
 
 namespace {
@@ -108,9 +140,17 @@ RetrainResult retrain(Mlp net, const linalg::Matrix& xl,
                  : 1.0;
   double lr = lr0;
   for (std::size_t e = 0; e < epochs; ++e) {
-    net.train_epoch(xl, yl, lr, momentum, rng);
+    const double train_mse = net.train_epoch(xl, yl, lr, momentum, rng);
     lr *= decay;
     const double val = net.mse(xv, yv);
+    // No local retry here: retraining starts from an already-good snapshot,
+    // so divergence means the caller's whole growth/prune step is suspect.
+    // The degradation layers upstream (estimate_error, SelectModel, dse
+    // drivers) catch and record this.
+    if (!std::isfinite(train_mse) || !std::isfinite(val)) {
+      throw TrainingError("NN", "retrain epoch " + std::to_string(e),
+                          "non-finite loss (training diverged)");
+    }
     if (val < best.val_mse * (1.0 - 1e-5)) {
       best.net = net;
       best.val_mse = val;
@@ -315,6 +355,16 @@ void NeuralRegressor::fit(const data::Dataset& train) {
 
   train_x_ = encoder_.encode(train);
   train_y_scaled_ = encoder_.encode_target(train);
+  // Degenerate-data guards: with constant columns dropped and no intercept,
+  // an empty design means nothing varies; non-finite targets would poison
+  // every gradient silently.
+  DSML_REQUIRE(train_x_.cols() >= 1,
+               "NeuralRegressor::fit: no varying predictors (every feature "
+               "column is constant)");
+  for (double v : train_y_scaled_) {
+    DSML_REQUIRE(std::isfinite(v),
+                 "NeuralRegressor::fit: target contains non-finite values");
+  }
 
   Rng rng(options_.seed);
 

@@ -2,7 +2,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "common/atomic_io.hpp"
+#include "common/failpoint.hpp"
 #include "common/serial.hpp"
 #include "ml/linreg.hpp"
 #include "ml/nn_models.hpp"
@@ -34,14 +37,12 @@ void save_model(const Regressor& model, std::ostream& out) {
 }
 
 void save_model(const Regressor& model, const std::string& path) {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
-  std::ofstream out(path);
-  if (!out) throw IoError("save_model: cannot write '" + path + "'");
+  // Serialize fully in memory, then temp-file + rename: a crash mid-save can
+  // never leave a truncated model where a readable one used to be.
+  std::ostringstream out;
   save_model(model, out);
+  DSML_FAIL("serialize.save");
+  io::write_file_atomic(path, out.str());
 }
 
 std::unique_ptr<Regressor> load_model(std::istream& in) {
@@ -53,13 +54,20 @@ std::unique_ptr<Regressor> load_model(std::istream& in) {
                   std::to_string(version));
   }
   const std::string type = reader.str();
+  std::unique_ptr<Regressor> model;
   if (type == "linreg") {
-    return std::make_unique<LinearRegression>(LinearRegression::load(reader));
+    model =
+        std::make_unique<LinearRegression>(LinearRegression::load(reader));
+  } else if (type == "neural") {
+    model = std::make_unique<NeuralRegressor>(NeuralRegressor::load(reader));
+  } else {
+    throw IoError("load_model: unknown model type '" + type + "'");
   }
-  if (type == "neural") {
-    return std::make_unique<NeuralRegressor>(NeuralRegressor::load(reader));
-  }
-  throw IoError("load_model: unknown model type '" + type + "'");
+  // A model file holds exactly one model: anything after the last field is
+  // corruption (e.g. a concatenated or overwritten artifact), and silently
+  // accepting it would mask a truncated read elsewhere.
+  reader.expect_end();
+  return model;
 }
 
 std::unique_ptr<Regressor> load_model(const std::string& path) {

@@ -1,9 +1,12 @@
 #include "ml/validation.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <optional>
 #include <string>
 
+#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
@@ -31,24 +34,51 @@ ErrorEstimate estimate_error(const ModelFactory& factory,
   for (std::size_t rep = 0; rep < options.repeats; ++rep) {
     splits.push_back(data::split_half(train.n_rows(), rng));
   }
-  ErrorEstimate est;
-  est.folds.assign(options.repeats, 0.0);
+  // Each fold writes only its own slot; a fold that throws becomes a
+  // FoldFailure instead of killing its siblings. Successful folds keep their
+  // repeat order so a failure-free run is bit-identical to the historical
+  // all-or-nothing implementation.
+  std::vector<double> fold_errors(options.repeats, 0.0);
+  std::vector<std::optional<FoldFailure>> fold_failures(options.repeats);
   trace::Span cv_span("ml::estimate_error", "ml");
   static metrics::Counter& folds_run = metrics::counter("ml.cv_folds");
+  static metrics::Counter& folds_failed = metrics::counter("ml.cv_folds_failed");
   parallel_for(0, options.repeats, [&](std::size_t rep) {
     // Lazy name: the string is only built when tracing is live, and each
     // fold's span lives on the thread that runs it (depth is thread-local,
     // so concurrent folds nest correctly).
     trace::Span fold_span([&] { return "fold " + std::to_string(rep); }, "ml");
     folds_run.add();
-    const auto& [fit_idx, holdout_idx] = splits[rep];
-    const data::Dataset fit_part = train.select_rows(fit_idx);
-    const data::Dataset holdout_part = train.select_rows(holdout_idx);
-    auto model = factory();
-    model->fit(fit_part);
-    const auto predicted = model->predict(holdout_part);
-    est.folds[rep] = mape(predicted, holdout_part.target());
+    try {
+      DSML_FAIL("estimate_error.fold");
+      const auto& [fit_idx, holdout_idx] = splits[rep];
+      const data::Dataset fit_part = train.select_rows(fit_idx);
+      const data::Dataset holdout_part = train.select_rows(holdout_idx);
+      auto model = factory();
+      model->fit(fit_part);
+      const auto predicted = model->predict(holdout_part);
+      fold_errors[rep] = mape(predicted, holdout_part.target());
+    } catch (const std::exception& e) {
+      folds_failed.add();
+      fold_failures[rep] = FoldFailure{rep, error_kind(e), e.what()};
+    }
   });
+  ErrorEstimate est;
+  for (std::size_t rep = 0; rep < options.repeats; ++rep) {
+    if (fold_failures[rep].has_value()) {
+      est.failed.push_back(std::move(*fold_failures[rep]));
+    } else {
+      est.folds.push_back(fold_errors[rep]);
+    }
+  }
+  if (est.folds.size() * 2 < options.repeats) {
+    const FoldFailure& first = est.failed.front();
+    throw TrainingError(
+        "", "cross-validation",
+        std::to_string(est.failed.size()) + " of " +
+            std::to_string(options.repeats) + " folds failed; fold " +
+            std::to_string(first.fold) + ": " + first.message);
+  }
   est.average = stats::mean(est.folds);
   est.maximum = stats::max(est.folds);
   return est;
@@ -65,28 +95,82 @@ void SelectModel::fit(const data::Dataset& train) {
   // its Rng (seeded per candidate, so results are identical to the serial
   // order), and writes only its own estimates_ slot. The winner is picked
   // serially afterwards to keep tie-breaking deterministic.
+  //
+  // Degradation: a candidate whose estimate throws is marked with an
+  // infinite estimate and skipped; a winner whose final fit throws falls
+  // back to the next-best candidate. Every tolerated failure lands in
+  // failures_, and only all candidates failing is fatal.
   trace::Span select_span("SelectModel::fit", "ml");
+  chosen_.reset();
+  failures_.clear();
   estimates_.assign(candidates_.size(), ErrorEstimate{});
+  std::vector<std::optional<FailureRecord>> estimate_failures(
+      candidates_.size());
   parallel_for(0, candidates_.size(), [&](std::size_t i) {
     trace::Span cand_span(
         [&] { return "candidate " + candidates_[i].name; }, "ml");
     ValidationOptions opts = options_;
     opts.seed = options_.seed + i;  // folds differ per candidate, as when
                                     // each model is evaluated independently
-    estimates_[i] = estimate_error(candidates_[i].make, train, opts);
+    try {
+      DSML_FAIL("select.candidate");
+      estimates_[i] = estimate_error(candidates_[i].make, train, opts);
+    } catch (const std::exception& e) {
+      estimates_[i].average = std::numeric_limits<double>::infinity();
+      estimates_[i].maximum = std::numeric_limits<double>::infinity();
+      estimate_failures[i] =
+          FailureRecord{candidates_[i].name, error_kind(e), e.what()};
+    }
   });
-  double best = std::numeric_limits<double>::infinity();
-  std::size_t best_idx = 0;
-  for (std::size_t i = 0; i < estimates_.size(); ++i) {
-    if (estimates_[i].maximum < best) {
-      best = estimates_[i].maximum;
-      best_idx = i;
+  // Serial reduction keeps failures_ in candidate order regardless of which
+  // pool worker hit what first.
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (estimate_failures[i].has_value()) {
+      failures_.push_back(std::move(*estimate_failures[i]));
+      continue;
+    }
+    for (const FoldFailure& f : estimates_[i].failed) {
+      failures_.push_back(FailureRecord{
+          candidates_[i].name + " fold " + std::to_string(f.fold),
+          f.error_type, f.message});
     }
   }
-  chosen_index_ = best_idx;
-  chosen_name_ = candidates_[best_idx].name;
-  chosen_ = candidates_[best_idx].make();
-  chosen_->fit(train);
+  // Candidates with a finite estimate, best first; ties keep candidate
+  // order, matching the historical first-minimum winner.
+  std::vector<std::size_t> ranked;
+  for (std::size_t i = 0; i < estimates_.size(); ++i) {
+    if (std::isfinite(estimates_[i].maximum)) ranked.push_back(i);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [&](std::size_t a,
+                                                     std::size_t b) {
+    return estimates_[a].maximum < estimates_[b].maximum;
+  });
+  if (ranked.empty()) {
+    throw TrainingError(
+        "SelectModel", "cross-validation",
+        "all " + std::to_string(candidates_.size()) +
+            " candidates failed" +
+            (failures_.empty()
+                 ? std::string(" (non-finite error estimates)")
+                 : "; first: " + failures_.front().message));
+  }
+  for (std::size_t idx : ranked) {
+    try {
+      auto model = candidates_[idx].make();
+      DSML_FAIL("select.final_fit");
+      model->fit(train);
+      chosen_ = std::move(model);
+      chosen_index_ = idx;
+      chosen_name_ = candidates_[idx].name;
+      return;
+    } catch (const std::exception& e) {
+      failures_.push_back(FailureRecord{candidates_[idx].name + " final fit",
+                                        error_kind(e), e.what()});
+    }
+  }
+  throw TrainingError("SelectModel", "final fit",
+                      "every candidate's final fit failed; first: " +
+                          failures_.back().message);
 }
 
 std::vector<double> SelectModel::predict(const data::Dataset& dataset) const {

@@ -13,15 +13,24 @@
 // actually beats always-using-NN-E.
 #pragma once
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "ml/model.hpp"
 
 namespace dsml::ml {
 
+/// One cross-validation fold that threw instead of producing an error value.
+struct FoldFailure {
+  std::size_t fold = 0;    ///< repeat index (0-based)
+  std::string error_type;  ///< taxonomy name from error_kind()
+  std::string message;
+};
+
 struct ErrorEstimate {
   double average = 0.0;       ///< mean of the five fold MAPEs
   double maximum = 0.0;       ///< max of the five fold MAPEs (paper's choice)
-  std::vector<double> folds;  ///< individual fold MAPEs
+  std::vector<double> folds;  ///< individual fold MAPEs (successful only)
+  std::vector<FoldFailure> failed;  ///< folds that threw and were tolerated
 };
 
 struct ValidationOptions {
@@ -30,7 +39,11 @@ struct ValidationOptions {
 };
 
 /// Estimate the predictive error of the model family produced by `factory`
-/// on `train` using repeated 50/50 splits.
+/// on `train` using repeated 50/50 splits. A fold whose fit/predict throws is
+/// recorded in `ErrorEstimate::failed` rather than propagated, as long as at
+/// least half the folds succeed; otherwise a TrainingError summarising the
+/// first failure is thrown. With no failures the result is bit-identical to
+/// the historical all-or-nothing implementation.
 ErrorEstimate estimate_error(const ModelFactory& factory,
                              const data::Dataset& train,
                              const ValidationOptions& options = {});
@@ -57,7 +70,14 @@ class SelectModel final : public Regressor {
   const ErrorEstimate& chosen_estimate() const;
 
   /// Estimated error per candidate, in candidate order (fit() required).
+  /// A candidate that failed outright has an infinite maximum/average.
   const std::vector<ErrorEstimate>& estimates() const { return estimates_; }
+
+  /// Failures tolerated during the last fit(): candidates whose estimate or
+  /// final fit threw, plus fold-level failures from candidates that survived
+  /// ("<name> fold k"). Empty on a clean fit. fit() throws TrainingError
+  /// only when *every* candidate fails.
+  const std::vector<FailureRecord>& failures() const { return failures_; }
 
  private:
   std::vector<NamedModel> candidates_;
@@ -65,6 +85,7 @@ class SelectModel final : public Regressor {
   std::unique_ptr<Regressor> chosen_;
   std::string chosen_name_;
   std::vector<ErrorEstimate> estimates_;
+  std::vector<FailureRecord> failures_;
   std::size_t chosen_index_ = 0;
 };
 

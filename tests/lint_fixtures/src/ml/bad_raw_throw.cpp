@@ -1,0 +1,18 @@
+// Fixture for the raw-std-throw rule: library code under src/ must throw the
+// dsml taxonomy, not bare std exceptions.
+#include <stdexcept>
+
+namespace dsml::ml {
+
+void flagged(int n) {
+  if (n < 0) throw std::runtime_error("negative");  // should be flagged
+}
+
+void suppressed(int n) {
+  // Deliberate escape hatch, mirroring common/error.hpp's assert_fail.
+  if (n > 9000) {
+    throw std::logic_error("over 9000");  // dsml-lint: allow(raw-std-throw)
+  }
+}
+
+}  // namespace dsml::ml

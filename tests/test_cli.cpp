@@ -191,6 +191,33 @@ TEST_F(CliTest, TraceFlagWithoutFileFails) {
   EXPECT_NE(result.err.find("--trace"), std::string::npos);
 }
 
+TEST_F(CliTest, FailpointsFlagWithoutSpecFails) {
+  const auto result = run_cli({"list", "--failpoints"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--failpoints"), std::string::npos);
+}
+
+TEST_F(CliTest, FailpointsFlagRejectsMalformedSpec) {
+  for (const char* bad : {"nonsense", "a=nth:0", "a=prob:2@1", "a=err:Nope"}) {
+    const auto result = run_cli({"--failpoints", bad, "list"});
+    EXPECT_EQ(result.exit_code, 1) << bad;
+    EXPECT_NE(result.err.find("failpoints:"), std::string::npos) << bad;
+  }
+}
+
+TEST_F(CliTest, FailpointsFlagWithUnmatchedSpecIsHarmless) {
+  const auto result = run_cli({"--failpoints", "no.such.site=err:IoError",
+                               "list"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("applications:"), std::string::npos);
+}
+
+TEST_F(CliTest, UsageMentionsFailpointsFlag) {
+  const auto result = run_cli({"help"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("--failpoints"), std::string::npos);
+}
+
 TEST_F(CliTest, StatsDumpsMetricsRegistry) {
   const auto result = run_cli({"stats", "list"});
   EXPECT_EQ(result.exit_code, 0) << result.err;

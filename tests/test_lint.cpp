@@ -95,6 +95,18 @@ TEST(LintFixtures, RawClockInLib) {
             1);
 }
 
+TEST(LintFixtures, RawStdThrow) {
+  const auto d = lint_file(kFixtures + "/src/ml/bad_raw_throw.cpp");
+  EXPECT_TRUE(has_rule(d, "raw-std-throw"));
+  // The runtime_error throw is flagged; the logic_error one carries an
+  // allow directive.
+  EXPECT_EQ(std::count_if(d.begin(), d.end(),
+                          [](const Diagnostic& x) {
+                            return x.rule == "raw-std-throw";
+                          }),
+            1);
+}
+
 // --- Suppression and clean exit --------------------------------------------
 
 TEST(LintFixtures, AllowDirectiveSuppresses) {
@@ -132,7 +144,7 @@ TEST(LintCli, WalkingFixtureDirectoryFindsEveryRule) {
   for (const char* rule :
        {"rand-source", "float-accum", "iostream-in-lib", "catch-all-swallow",
         "header-guard", "naked-new", "matrix-elem-in-loop",
-        "raw-clock-in-lib", "unknown-allow"}) {
+        "raw-clock-in-lib", "raw-std-throw", "unknown-allow"}) {
     EXPECT_NE(text.find(rule), std::string::npos) << rule;
   }
 }
@@ -223,6 +235,29 @@ TEST(LintSource, RawClockScopedToLibraryOutsideTracingLayer) {
                         "raw-clock-in-lib"));
   EXPECT_FALSE(has_rule(lint_source("bench/bench_util.cpp", source),
                         "raw-clock-in-lib"));
+}
+
+TEST(LintSource, RawStdThrowScopedToLibraryOutsideErrorHeader) {
+  const std::string source =
+      "void f() { throw std::runtime_error(\"boom\"); }\n";
+  EXPECT_TRUE(has_rule(lint_source("src/ml/linreg.cpp", source),
+                       "raw-std-throw"));
+  // The taxonomy itself derives from std exceptions, and code outside the
+  // library (tools, tests) may throw whatever it likes.
+  EXPECT_FALSE(has_rule(lint_source("src/common/error.hpp", source),
+                        "raw-std-throw"));
+  EXPECT_FALSE(has_rule(lint_source("tools/cli.cpp", source),
+                        "raw-std-throw"));
+  EXPECT_FALSE(has_rule(lint_source("tests/test_ml.cpp", source),
+                        "raw-std-throw"));
+}
+
+TEST(LintSource, TaxonomyThrowsAreNotRawStdThrows) {
+  const std::string source =
+      "void f() { throw NumericalError(\"singular\"); }\n"
+      "void g() { throw dsml::IoError(\"short read\"); }\n";
+  EXPECT_FALSE(has_rule(lint_source("src/ml/linreg.cpp", source),
+                        "raw-std-throw"));
 }
 
 TEST(LintSource, CatchAllThatRethrowsIsFine) {

@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 #include "data/encoder.hpp"
 #include "ml/linreg.hpp"
 #include "ml/metrics.hpp"
+#include "ml/nn_models.hpp"
 #include "ml/validation.hpp"
 
 namespace dsml::ml {
@@ -127,6 +129,76 @@ TEST_P(LinRegMethodProperty, RSquaredWithinUnitRange) {
   EXPECT_LE(model.ols().adjusted_r2, model.ols().r2 + 1e-12);
 }
 
+// --- Degenerate training data must fail loudly (or survive harmlessly) -----
+
+data::Dataset constant_feature_dataset(std::size_t n) {
+  std::vector<double> c1(n, 3.0);
+  std::vector<double> c2(n, -1.5);
+  std::vector<double> y(n);
+  Rng rng(41);
+  for (std::size_t i = 0; i < n; ++i) y[i] = rng.uniform(10.0, 20.0);
+  data::Dataset ds;
+  ds.add_feature(data::Column::numeric("c1", std::move(c1)));
+  ds.add_feature(data::Column::numeric("c2", std::move(c2)));
+  ds.set_target("y", std::move(y));
+  return ds;
+}
+
+data::Dataset duplicated_rows_dataset(std::size_t n, std::uint64_t seed) {
+  const data::Dataset base = random_mixed_dataset(n, seed);
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back(i);
+    rows.push_back(i);  // every observation appears twice
+  }
+  return base.select_rows(rows);
+}
+
+TEST_P(LinRegMethodProperty, AllConstantFeaturesAreRejected) {
+  const data::Dataset ds = constant_feature_dataset(30);
+  LinearRegression::Options opt;
+  opt.method = GetParam();
+  LinearRegression model(opt);
+  try {
+    model.fit(ds);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    // The encoder rejects the degenerate design up front with a clear
+    // message (constant columns carry no information and are dropped).
+    EXPECT_NE(std::string(e.what()).find("dropped"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_P(LinRegMethodProperty, NonFiniteTargetsAreRejected) {
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity()}) {
+    data::Dataset ds = random_mixed_dataset(40, 43);
+    std::vector<double> y(ds.target().begin(), ds.target().end());
+    y[7] = bad;
+    ds.set_target("y", std::move(y));
+    LinearRegression::Options opt;
+    opt.method = GetParam();
+    LinearRegression model(opt);
+    try {
+      model.fit(ds);
+      FAIL() << "expected InvalidArgument for target " << bad;
+    } catch (const InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+    }
+  }
+}
+
+TEST_P(LinRegMethodProperty, DuplicatedRowsStillFitFinite) {
+  // Exact duplicates change leverage but not rank; the fit must stay clean.
+  const data::Dataset ds = duplicated_rows_dataset(40, 47);
+  LinearRegression::Options opt;
+  opt.method = GetParam();
+  LinearRegression model(opt);
+  model.fit(ds);
+  for (double p : model.predict(ds)) EXPECT_TRUE(std::isfinite(p));
+  EXPECT_LT(mape(model.predict(ds), ds.target()), 1.0);
+}
+
 INSTANTIATE_TEST_SUITE_P(Methods, LinRegMethodProperty,
                          ::testing::Values(LinRegMethod::kEnter,
                                            LinRegMethod::kStepwise,
@@ -139,6 +211,41 @@ INSTANTIATE_TEST_SUITE_P(Methods, LinRegMethodProperty,
                                name.end());
                            return name;
                          });
+
+ml::NeuralRegressor quick_nn() {
+  NeuralRegressor::Options opt;
+  opt.method = NnMethod::kQuick;
+  opt.epoch_scale = 0.05;
+  return NeuralRegressor(opt);
+}
+
+TEST(NeuralProperty, AllConstantFeaturesAreRejected) {
+  const data::Dataset ds = constant_feature_dataset(30);
+  auto model = quick_nn();
+  try {
+    model.fit(ds);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("dropped"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NeuralProperty, NonFiniteTargetsAreRejected) {
+  data::Dataset ds = random_mixed_dataset(40, 53);
+  std::vector<double> y(ds.target().begin(), ds.target().end());
+  y.back() = std::nan("");
+  ds.set_target("y", std::move(y));
+  auto model = quick_nn();
+  EXPECT_THROW(model.fit(ds), InvalidArgument);
+}
+
+TEST(NeuralProperty, DuplicatedRowsStillFitFinite) {
+  const data::Dataset ds = duplicated_rows_dataset(30, 59);
+  auto model = quick_nn();
+  model.fit(ds);
+  for (double p : model.predict(ds)) EXPECT_TRUE(std::isfinite(p));
+}
 
 TEST(ValidationProperty, EstimateTracksNoiseFloor) {
   // With a y = f(x) + noise ground truth and a well-specified model, the CV

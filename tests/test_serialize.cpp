@@ -124,6 +124,75 @@ TEST(Serialize, TruncatedInputThrows) {
   EXPECT_THROW(load_model(truncated), IoError);
 }
 
+TEST(Serialize, TruncationErrorsReportAByteOffset) {
+  const data::Dataset train = make_data(60, 6);
+  LinearRegression model;
+  model.fit(train);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 10));
+  try {
+    load_model(truncated);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    // The message points at where the stream died so the artifact can be
+    // inspected with xxd -s <offset>.
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Serialize, TrailingGarbageThrowsWithByteOffset) {
+  const data::Dataset train = make_data(60, 7);
+  LinearRegression model;
+  model.fit(train);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  std::stringstream padded(buffer.str() + " unexpected trailing junk");
+  try {
+    load_model(padded);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("trailing garbage"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+    EXPECT_NE(what.find("unexpected"), std::string::npos) << what;
+  }
+}
+
+TEST(Serialize, CleanStreamHasNoTrailingGarbageFalsePositive) {
+  // Round-tripping an untouched artifact must not trip the trailing-garbage
+  // detector (trailing whitespace from the writer is fine).
+  const data::Dataset train = make_data(60, 8);
+  LinearRegression model;
+  model.fit(train);
+  std::stringstream buffer;
+  save_model(model, buffer);
+  EXPECT_NO_THROW(load_model(buffer));
+}
+
+TEST(SerialPrimitives, ExpectEndAcceptsWhitespaceOnly) {
+  std::stringstream buffer;
+  serial::Writer writer(buffer);
+  writer.u64(1);
+  serial::Reader reader(buffer);
+  EXPECT_EQ(reader.u64(), 1u);
+  EXPECT_NO_THROW(reader.expect_end());
+}
+
+TEST(SerialPrimitives, ReaderOffsetAdvancesWithConsumption) {
+  std::stringstream buffer;
+  serial::Writer writer(buffer);
+  writer.u64(12345);
+  writer.str("abc");
+  serial::Reader reader(buffer);
+  const std::int64_t start = reader.offset();
+  EXPECT_EQ(reader.u64(), 12345u);
+  EXPECT_GT(reader.offset(), start);
+  EXPECT_EQ(reader.str(), "abc");
+}
+
 TEST(Serialize, WrongVersionThrows) {
   std::stringstream buffer("dsml-model\n999 6:linreg ");
   EXPECT_THROW(load_model(buffer), IoError);

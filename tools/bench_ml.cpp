@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic_io.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/rng.hpp"
@@ -489,12 +490,14 @@ int run(const BenchOptions& options, std::ostream& out, std::ostream& err) {
   }
 
   if (!options.json_path.empty()) {
-    std::ofstream file(options.json_path, std::ios::binary);
-    if (!file) {
-      err << "bench: cannot write '" << options.json_path << "'\n";
+    // Atomic write: BENCH_ML.json is the committed drift baseline, and a
+    // run killed mid-write must not replace it with a truncated file.
+    try {
+      io::write_file_atomic(options.json_path, w.str());
+    } catch (const IoError& e) {
+      err << "bench: " << e.what() << "\n";
       return 1;
     }
-    file << w.str();
     out << "wrote " << options.json_path << "\n";
   }
 

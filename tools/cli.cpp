@@ -8,7 +8,9 @@
 #include <sstream>
 
 #include "bench_ml.hpp"
+#include "common/atomic_io.hpp"
 #include "common/csv.hpp"
+#include "common/failpoint.hpp"
 #include "common/json.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
@@ -120,6 +122,17 @@ dse::SweepOptions sweep_options_from(const Options& opt) {
   return sweep;
 }
 
+/// Prints the failures a degraded run tolerated (empty = silent).
+void print_failures(const std::vector<FailureRecord>& failures,
+                    std::ostream& out) {
+  if (failures.empty()) return;
+  out << failures.size() << " failure(s) tolerated:\n";
+  for (const auto& f : failures) {
+    out << "  " << f.name << " [" << f.error_type << "] " << f.message
+        << "\n";
+  }
+}
+
 int cmd_list(std::ostream& out) {
   out << "applications:";
   for (const auto& name : workload::spec_profile_names()) out << ' ' << name;
@@ -174,6 +187,7 @@ int cmd_sampled(const Options& opt, std::ostream& out) {
         << sel.chosen_model << " (true "
         << strings::format_double(sel.true_error, 2) << "%)\n";
   }
+  print_failures(result.failures, out);
   return 0;
 }
 
@@ -195,6 +209,7 @@ int cmd_chrono(const Options& opt, std::ostream& out) {
   }
   table.print(out);
   out << "best: " << result.best().model << "\n";
+  print_failures(result.failures, out);
   return 0;
 }
 
@@ -276,9 +291,7 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
   if (!json_path.empty()) {
     json::Writer w;
     metrics::write_json(w);
-    std::ofstream file(json_path, std::ios::binary);
-    if (!file) throw IoError("stats: cannot write '" + json_path + "'");
-    file << w.str() << '\n';
+    io::write_file_atomic(json_path, w.str() + "\n");
   }
   return rc;
 }
@@ -287,7 +300,7 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
 
 std::string usage() {
   return
-      "usage: dsml [--trace F] <command> [options]\n"
+      "usage: dsml [--trace F] [--failpoints SPEC] <command> [options]\n"
       "\n"
       "commands:\n"
       "  list                              enumerate apps, families, models\n"
@@ -301,7 +314,11 @@ std::string usage() {
       "  lint    [--list-rules] [path...]   run the dsml-lint static checker\n"
       "\n"
       "global options:\n"
-      "  --trace F   collect a Chrome trace (chrome://tracing) into F\n";
+      "  --trace F          collect a Chrome trace (chrome://tracing) into F\n"
+      "  --failpoints SPEC  arm fault-injection points, e.g.\n"
+      "                     'estimate_error.fold=nth:2,linreg.solve=prob:0.1@7'\n"
+      "                     (triggers: nth:N | prob:P@SEED | err:Type;\n"
+      "                     see docs/ROBUSTNESS.md)\n";
 }
 
 namespace {
@@ -338,9 +355,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     return args.empty() ? 1 : 0;
   }
   try {
-    // `--trace <file>` works on every subcommand (any position): it is
-    // extracted here, before dispatch, so command parsers (including lint's
-    // pass-through grammar) never see it.
+    // `--trace <file>` and `--failpoints <spec>` work on every subcommand
+    // (any position): they are extracted here, before dispatch, so command
+    // parsers (including lint's pass-through grammar) never see them.
     std::vector<std::string> rest = args;
     std::string trace_path;
     for (std::size_t i = 0; i < rest.size(); ++i) {
@@ -353,10 +370,25 @@ int run(const std::vector<std::string>& args, std::ostream& out,
                  rest.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       break;
     }
+    std::optional<std::string> failpoint_spec;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i] != "--failpoints") continue;
+      if (i + 1 >= rest.size() || rest[i + 1].rfind("--", 0) == 0) {
+        throw InvalidArgument("missing spec for --failpoints");
+      }
+      failpoint_spec = rest[i + 1];
+      rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
+                 rest.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
     if (rest.empty()) {
       out << usage();
       return 1;
     }
+    // RAII so the armed set never leaks past this command (run() is also
+    // invoked recursively by `dsml stats`, and repeatedly by tests).
+    std::optional<failpoint::ScopedFailpoints> armed;
+    if (failpoint_spec.has_value()) armed.emplace(*failpoint_spec);
     if (!trace_path.empty()) trace::start(trace_path);
     int rc;
     {

@@ -423,6 +423,27 @@ void rule_raw_clock_in_lib(const std::string& file,
              out);
 }
 
+/// Flags `throw std::runtime_error(...)` / `throw std::logic_error(...)`
+/// under src/: library code must throw the dsml taxonomy (InvalidArgument,
+/// StateError, NumericalError, IoError, TrainingError from common/error.hpp)
+/// so callers can catch by kind and failure summaries can classify via
+/// error_kind(). common/error.hpp itself is exempt — DSML_ASSERT's
+/// assert_fail deliberately raises a bare std::logic_error to mark internal
+/// bugs as outside the recoverable taxonomy.
+void rule_raw_std_throw(const std::string& file,
+                        const std::string& normalized,
+                        const SourceModel& model,
+                        std::vector<Diagnostic>* out) {
+  if (!path_has_dir(normalized, "src")) return;
+  if (path_ends_with(normalized, "common/error.hpp")) return;
+  static const std::regex kPattern(
+      R"(\bthrow\s+(?:::)?std::(?:runtime_error|logic_error)\b)");
+  scan_lines(file, model, kPattern, "raw-std-throw",
+             "bare std::runtime_error/std::logic_error throw in library "
+             "code; use the dsml error taxonomy (common/error.hpp)",
+             out);
+}
+
 bool lintable_extension(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
@@ -451,6 +472,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
        "per-element Matrix operator() access inside src/ml loops"},
       {"raw-clock-in-lib",
        "raw std::chrono clock read under src/ outside the tracing layer"},
+      {"raw-std-throw",
+       "bare std::runtime_error/logic_error throw under src/ outside "
+       "common/error.hpp"},
       {"unknown-allow", "allow() directive naming an unknown rule"},
   };
   return kRules;
@@ -477,6 +501,7 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   rule_naked_new(path, model, &found);
   rule_matrix_elem_in_loop(path, normalized, model, &found);
   rule_raw_clock_in_lib(path, normalized, model, &found);
+  rule_raw_std_throw(path, normalized, model, &found);
 
   std::vector<Diagnostic> kept;
   for (auto& d : found) {
