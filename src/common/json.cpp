@@ -329,6 +329,7 @@ void append_escaped(std::string& out, std::string_view s) {
 }  // namespace
 
 void Writer::indent() {
+  if (compact_) return;
   out_.push_back('\n');
   out_.append(stack_.size() * 2, ' ');
 }
@@ -355,7 +356,7 @@ Writer& Writer::key(std::string_view k) {
   if (has_items_.back()) out_.push_back(',');
   indent();
   append_escaped(out_, k);
-  out_ += ": ";
+  out_ += compact_ ? ":" : ": ";
   key_pending_ = true;
   return *this;
 }

@@ -70,6 +70,12 @@ class Value {
 /// end_*) throw StateError.
 class Writer {
  public:
+  /// Pretty (indented) output by default; `Writer(true)` emits the document
+  /// on a single line — what JSON-lines protocols (`dsml serve`) need, since
+  /// a newline inside a response would split it into two protocol lines.
+  Writer() = default;
+  explicit Writer(bool compact) : compact_(compact) {}
+
   Writer& begin_object();
   Writer& end_object();
   Writer& begin_array();
@@ -103,6 +109,7 @@ class Writer {
   std::string out_;
   std::vector<Frame> stack_;
   std::vector<bool> has_items_;
+  bool compact_ = false;
   bool key_pending_ = false;
   bool done_ = false;
 };

@@ -64,6 +64,17 @@ double parse_double(std::string_view s) {
   return value;
 }
 
+std::uint64_t parse_u64(std::string_view s) {
+  const std::string_view t = trim(s);
+  std::uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), value);
+  if (ec != std::errc() || ptr != t.data() + t.size()) {
+    throw IoError("parse_u64: cannot parse '" + std::string(s) +
+                  "' as a non-negative integer");
+  }
+  return value;
+}
+
 std::string format_double(double v, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);

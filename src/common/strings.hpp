@@ -1,6 +1,7 @@
 // Small string utilities used by CSV parsing and report formatting.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,12 @@ bool is_number(std::string_view s);
 
 /// Parse a double; throws dsml::IoError with context on failure.
 double parse_double(std::string_view s);
+
+/// Parse a non-negative decimal integer; throws dsml::IoError with context
+/// on failure (sign, stray characters, overflow). CLI flags route through
+/// this instead of bare std::stoull so malformed input surfaces as a
+/// taxonomy error, not a raw std::invalid_argument.
+std::uint64_t parse_u64(std::string_view s);
 
 /// printf-style float formatting helper (fixed, `digits` decimals).
 std::string format_double(double v, int digits);

@@ -5,9 +5,9 @@
 #include <string>
 
 #include "common/error.hpp"
-#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "engine/fit_score.hpp"
 
 namespace dsml::dse {
 
@@ -61,31 +61,37 @@ ChronologicalResult run_chronological(specdata::Family family,
     evals.add();
     // One flaky family (NN-P/NN-E prune aggressively; LR stepwise can hit
     // singular systems on collinear announcements) must not kill the Table 2
-    // row for the eight others: record the failure and move on.
+    // row for the eight others: fit_and_score captures the cell failure and
+    // the loop records it and moves on.
+    engine::FitScoreRequest request;
     try {
-      DSML_FAIL("dse.chrono.eval");
-      const ml::NamedModel nm = ml::make_model(name, options.zoo);
-      trace::Stopwatch fit_timer;
-      auto model = nm.make();
-      model->fit(train);
-      ChronoModelResult mr;
-      mr.model = name;
-      mr.fit_seconds = fit_timer.seconds();
-      const std::vector<double> predicted = model->predict(test);
-      mr.error = ml::summarize_errors(predicted, test.target());
-      result.models.push_back(mr);
-
-      const bool is_nn = name.rfind("NN", 0) == 0;
-      if (is_nn && mr.error.mean < best_nn) {
-        best_nn = mr.error.mean;
-        result.nn_importance = model->importance();
-      }
-      if (!is_nn && mr.error.mean < best_lr) {
-        best_lr = mr.error.mean;
-        result.lr_importance = model->importance();
-      }
+      request.model = ml::make_model(name, options.zoo);
     } catch (const std::exception& e) {
       result.failures.push_back(FailureRecord{name, error_kind(e), e.what()});
+      continue;
+    }
+    request.train = &train;
+    request.score = &test;
+    request.failpoint = "dse.chrono.eval";
+    engine::FitScoreResult cell = engine::fit_and_score(request);
+    if (!cell.ok()) {
+      result.failures.push_back(std::move(*cell.failure));
+      continue;
+    }
+    ChronoModelResult mr;
+    mr.model = name;
+    mr.fit_seconds = cell.fit_seconds;
+    mr.error = ml::summarize_errors(cell.predictions, test.target());
+    result.models.push_back(mr);
+
+    const bool is_nn = name.rfind("NN", 0) == 0;
+    if (is_nn && mr.error.mean < best_nn) {
+      best_nn = mr.error.mean;
+      result.nn_importance = cell.model->importance();
+    }
+    if (!is_nn && mr.error.mean < best_lr) {
+      best_lr = mr.error.mean;
+      result.lr_importance = cell.model->importance();
     }
   }
   if (result.models.empty()) {

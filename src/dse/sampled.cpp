@@ -6,11 +6,11 @@
 #include <string>
 
 #include "common/error.hpp"
-#include "common/failpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "data/split.hpp"
+#include "engine/fit_score.hpp"
 #include "ml/metrics.hpp"
 
 namespace dsml::dse {
@@ -67,38 +67,39 @@ SampledDseResult run_sampled_dse(const data::Dataset& full_space,
       const std::string& model_name = options.model_names[i];
       trace::Span eval_span([&] { return "evaluate " + model_name; }, "dse");
       evals.add();
+      engine::FitScoreRequest request;
       try {
-        DSML_FAIL("dse.sampled.eval");
-        const ml::NamedModel nm = ml::make_model(model_name, options.zoo);
-
-        ml::ValidationOptions vopt;
-        vopt.repeats = options.cv_repeats;
-        vopt.seed = options.sample_seed * 977 + static_cast<std::uint64_t>(
-                        rate * 1000.0);
-        const ml::ErrorEstimate estimate =
-            ml::estimate_error(nm.make, train, vopt);
-        slots[i].fold_failures = estimate.failed;
-
-        trace::Stopwatch fit_timer;
-        auto model = nm.make();
-        model->fit(train);
-        const double fit_seconds = fit_timer.seconds();
-
-        const std::vector<double> predicted = model->predict(full_space);
-        const double true_error = ml::mape(predicted, full_space.target());
-
-        SampledRun run;
-        run.model = model_name;
-        run.rate = rate;
-        run.estimated_error_max = estimate.maximum;
-        run.estimated_error_avg = estimate.average;
-        run.true_error = true_error;
-        run.fit_seconds = fit_seconds;
-        slots[i].run = std::move(run);
+        request.model = ml::make_model(model_name, options.zoo);
       } catch (const std::exception& e) {
         slots[i].failure = FailureRecord{model_name + "@" + rate_label,
                                          error_kind(e), e.what()};
+        return;
       }
+      request.train = &train;
+      request.estimate = true;
+      request.validation.repeats = options.cv_repeats;
+      request.validation.seed =
+          options.sample_seed * 977 +
+          static_cast<std::uint64_t>(rate * 1000.0);
+      request.score = &full_space;
+      request.failpoint = "dse.sampled.eval";
+      engine::FitScoreResult cell = engine::fit_and_score(request);
+      if (!cell.ok()) {
+        slots[i].failure = FailureRecord{model_name + "@" + rate_label,
+                                         cell.failure->error_type,
+                                         cell.failure->message};
+        return;
+      }
+      slots[i].fold_failures = std::move(cell.estimate.failed);
+
+      SampledRun run;
+      run.model = model_name;
+      run.rate = rate;
+      run.estimated_error_max = cell.estimate.maximum;
+      run.estimated_error_avg = cell.estimate.average;
+      run.true_error = ml::mape(cell.predictions, full_space.target());
+      run.fit_seconds = cell.fit_seconds;
+      slots[i].run = std::move(run);
     });
 
     double best_estimate = std::numeric_limits<double>::infinity();

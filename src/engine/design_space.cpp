@@ -1,0 +1,40 @@
+#include "engine/design_space.hpp"
+
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace dsml::engine {
+
+namespace {
+
+struct DesignSpaceCache {
+  std::vector<sim::ProcessorConfig> configs;
+  data::Dataset dataset;
+  Schema schema;
+
+  DesignSpaceCache() {
+    trace::Span span("engine.design_space.build", "engine");
+    metrics::counter("engine.predict.cold_start").add();
+    configs = sim::enumerate_design_space();
+    dataset = sim::make_config_dataset(configs);
+    schema = Schema::of(dataset);
+  }
+};
+
+/// Function-local static: built once, thread-safe by the C++11 guarantee.
+const DesignSpaceCache& cache() {
+  static DesignSpaceCache instance;
+  return instance;
+}
+
+}  // namespace
+
+const std::vector<sim::ProcessorConfig>& design_space_configs() {
+  return cache().configs;
+}
+
+const data::Dataset& design_space_dataset() { return cache().dataset; }
+
+const Schema& design_space_schema() { return cache().schema; }
+
+}  // namespace dsml::engine

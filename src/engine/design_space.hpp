@@ -1,0 +1,30 @@
+// Process-wide cache of the enumerated design space.
+//
+// `dsml predict` used to re-enumerate all 4608 processor configurations and
+// rebuild their typed Dataset on every invocation — pure cold-start cost,
+// paid again by every request in a long-lived serving process. The engine
+// builds both exactly once per process and hands out const references; the
+// `engine.predict.cold_start` counter records how many times the expensive
+// build actually ran (visible in `dsml stats`), so a warm process shows 1
+// no matter how many predictions it served.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "engine/schema.hpp"
+#include "sim/config.hpp"
+
+namespace dsml::engine {
+
+/// The enumerated design space (Table 1's 4608 configurations), built on
+/// first use and cached for the process lifetime.
+const std::vector<sim::ProcessorConfig>& design_space_configs();
+
+/// The design space as a typed feature Dataset (no target), built on first
+/// use. Bit-identical to sim::make_config_dataset(design_space_configs()).
+const data::Dataset& design_space_dataset();
+
+/// Schema of the design-space dataset — the training schema of every
+/// surrogate fitted on sweep data, used to validate models at registration.
+const Schema& design_space_schema();
+
+}  // namespace dsml::engine

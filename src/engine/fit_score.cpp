@@ -1,0 +1,49 @@
+#include "engine/fit_score.hpp"
+
+#include "common/failpoint.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace dsml::engine {
+
+FitScoreResult fit_and_score(const FitScoreRequest& request) {
+  DSML_REQUIRE(request.train != nullptr, "fit_and_score: null train dataset");
+  DSML_REQUIRE(request.model.make != nullptr,
+               "fit_and_score: model has no factory");
+  trace::Span cell_span([&] { return "fit_and_score " + request.model.name; },
+                        "engine");
+  static metrics::Counter& cells = metrics::counter("engine.fit_score.cells");
+  static metrics::Counter& failures =
+      metrics::counter("engine.fit_score.failures");
+  cells.add();
+
+  FitScoreResult result;
+  result.name = request.model.name;
+  try {
+    if (request.failpoint != nullptr) DSML_FAIL(request.failpoint);
+    if (request.estimate) {
+      result.estimate =
+          ml::estimate_error(request.model.make, *request.train,
+                             request.validation);
+    }
+    if (request.fit) {
+      auto model = request.model.make();
+      trace::Stopwatch fit_timer;
+      model->fit(*request.train);
+      result.fit_seconds = fit_timer.seconds();
+      result.model = std::move(model);
+      if (request.score != nullptr) {
+        result.predictions = result.model->predict(*request.score);
+      }
+    }
+  } catch (const std::exception& e) {
+    failures.add();
+    result.model.reset();
+    result.predictions.clear();
+    result.failure =
+        FailureRecord{request.model.name, error_kind(e), e.what()};
+  }
+  return result;
+}
+
+}  // namespace dsml::engine

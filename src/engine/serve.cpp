@@ -1,0 +1,194 @@
+#include "engine/serve.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/strings.hpp"
+#include "common/trace.hpp"
+
+namespace dsml::engine {
+
+namespace {
+
+struct ServeMetrics {
+  metrics::Counter& requests = metrics::counter("engine.serve.requests");
+  metrics::Counter& rows = metrics::counter("engine.serve.rows");
+  metrics::Counter& errors = metrics::counter("engine.serve.errors");
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+std::string numeric_cell(const json::Value& v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v.as_number());
+  return buf;
+}
+
+/// Converts one request row (a JSON object keyed by column name) into cells
+/// in schema column order, rejecting unknown and missing columns by name.
+std::vector<std::string> row_cells(const json::Value& row, const Schema& schema,
+                                   std::size_t index) {
+  if (row.type() != json::Value::Type::kObject) {
+    throw InvalidArgument("row " + std::to_string(index) +
+                          " must be a JSON object keyed by column name");
+  }
+  for (const auto& [key, value] : row.fields()) {
+    bool known = false;
+    for (const SchemaColumn& c : schema.columns()) {
+      if (c.name == key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw InvalidArgument("row " + std::to_string(index) +
+                            " has unknown column '" + key + "'");
+    }
+  }
+  std::vector<std::string> cells;
+  cells.reserve(schema.size());
+  for (const SchemaColumn& c : schema.columns()) {
+    if (!row.contains(c.name)) {
+      throw InvalidArgument("row " + std::to_string(index) +
+                            " is missing column '" + c.name + "'");
+    }
+    const json::Value& v = row.at(c.name);
+    switch (c.kind) {
+      case data::ColumnKind::kNumeric:
+        cells.push_back(numeric_cell(v));
+        break;
+      case data::ColumnKind::kFlag:
+        if (v.type() == json::Value::Type::kBool) {
+          cells.push_back(v.as_bool() ? "1" : "0");
+        } else {
+          cells.push_back(v.as_number() != 0.0 ? "1" : "0");
+        }
+        break;
+      case data::ColumnKind::kCategorical:
+        cells.push_back(v.as_string());
+        break;
+    }
+  }
+  return cells;
+}
+
+void write_error(std::ostream& out, const std::exception& e) {
+  json::Writer w(/*compact=*/true);
+  w.begin_object()
+      .field("ok", false)
+      .field("error", std::string_view(e.what()))
+      .field("error_type", error_kind(e))
+      .end_object();
+  out << w.str();
+}
+
+}  // namespace
+
+ServeSummary serve(ModelRegistry& registry, std::istream& in,
+                   std::ostream& out, const ServeOptions& options) {
+  trace::Span loop_span("engine.serve", "engine");
+  ServeSummary summary;
+  std::map<std::string, std::unique_ptr<InferenceSession>> sessions;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (strings::trim(line).empty()) continue;
+    summary.requests += 1;
+    serve_metrics().requests.add();
+    trace::Span request_span("serve.request", "engine");
+    try {
+      DSML_FAIL("engine.serve.request");
+      const json::Value request = json::Value::parse(line);
+      std::string model_name = options.default_model;
+      if (request.contains("model")) {
+        model_name = request.at("model").as_string();
+      }
+      if (model_name.empty()) {
+        throw InvalidArgument("request needs a \"model\" field");
+      }
+      const std::shared_ptr<const ModelEntry> entry =
+          registry.find(model_name);
+      if (entry == nullptr) {
+        throw StateError("unknown model '" + model_name + "' (registered: " +
+                         strings::join(registry.names(), ", ") + ")");
+      }
+      const std::vector<json::Value>& row_values =
+          request.at("rows").items();
+      std::vector<std::vector<std::string>> cells;
+      cells.reserve(row_values.size());
+      for (std::size_t r = 0; r < row_values.size(); ++r) {
+        cells.push_back(row_cells(row_values[r], entry->schema, r));
+      }
+      const data::Dataset rows = entry->schema.dataset_from_rows(cells);
+
+      auto it = sessions.find(model_name);
+      if (it == sessions.end()) {
+        it = sessions
+                 .emplace(model_name,
+                          std::make_unique<InferenceSession>(
+                              registry, model_name, options.session))
+                 .first;
+      }
+      const BatchOutcome outcome = it->second->predict_detailed(rows);
+
+      json::Writer w(/*compact=*/true);
+      w.begin_object()
+          .field("ok", outcome.ok())
+          .field("model", model_name)
+          .field("version", entry->version);
+      if (!outcome.ok()) w.field("partial", true);
+      w.key("predictions").begin_array();
+      std::size_t fail_idx = 0;
+      for (std::size_t r = 0; r < outcome.values.size(); ++r) {
+        if (fail_idx < outcome.failed_rows.size() &&
+            outcome.failed_rows[fail_idx] == r) {
+          w.null();
+          ++fail_idx;
+        } else {
+          w.value(outcome.values[r]);
+        }
+      }
+      w.end_array();
+      if (!outcome.ok()) {
+        w.key("errors").begin_array();
+        for (std::size_t k = 0; k < outcome.failed_rows.size(); ++k) {
+          w.begin_object()
+              .field("row", static_cast<std::uint64_t>(outcome.failed_rows[k]))
+              .field("error", std::string_view(outcome.row_errors[k]))
+              .end_object();
+        }
+        w.end_array();
+      }
+      w.end_object();
+      out << w.str();
+      out.flush();
+
+      const std::size_t ok_rows =
+          outcome.values.size() - outcome.failed_rows.size();
+      summary.rows += ok_rows;
+      serve_metrics().rows.add(ok_rows);
+      if (!outcome.ok()) {
+        summary.errors += 1;
+        serve_metrics().errors.add();
+      }
+    } catch (const std::exception& e) {
+      summary.errors += 1;
+      serve_metrics().errors.add();
+      write_error(out, e);
+      out.flush();
+    }
+  }
+  return summary;
+}
+
+}  // namespace dsml::engine

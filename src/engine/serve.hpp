@@ -1,0 +1,53 @@
+// JSON-lines request serving: the engine's proof workload.
+//
+// Protocol (one JSON document per input line; one response per request):
+//
+//   → {"model": "gcc", "rows": [{"l1d_size_kb": 32, ..., "branch_predictor":
+//      "bimodal", "issue_wrong": false}, ...]}
+//   ← {"ok": true, "model": "gcc", "version": 1, "predictions": [123456.0]}
+//
+// Rows are objects keyed by the model's schema column names (extra keys are
+// rejected, missing keys are reported with the column name). Failures never
+// kill the loop:
+//
+//   - a malformed line / unknown model / bad row value produces
+//     {"ok": false, "error": ..., "error_type": <taxonomy name>};
+//   - a row that fails *prediction* (e.g. an injected failpoint) produces a
+//     partial response: "ok" false, "partial" true, null in `predictions`
+//     at the failed positions, and an `errors` array naming each row —
+//     surviving rows still carry their predictions.
+//
+// Requests route through an InferenceSession per model, so concurrent
+// stdin feeders (or a future socket frontend) would coalesce into shared
+// batches; metrics (`engine.serve.*`) and trace spans follow every request.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "engine/registry.hpp"
+#include "engine/session.hpp"
+
+namespace dsml::engine {
+
+struct ServeOptions {
+  /// Used when a request omits "model"; "" means the field is required.
+  std::string default_model;
+
+  /// Session tuning shared by every model's session.
+  SessionOptions session;
+};
+
+struct ServeSummary {
+  std::uint64_t requests = 0;  ///< lines answered (including errors)
+  std::uint64_t rows = 0;      ///< rows predicted successfully
+  std::uint64_t errors = 0;    ///< error or partial responses
+};
+
+/// Reads requests from `in` until EOF, writing one compact JSON response
+/// line to `out` per request. Never throws for request-level failures; the
+/// summary says how much work was done.
+ServeSummary serve(ModelRegistry& registry, std::istream& in,
+                   std::ostream& out, const ServeOptions& options = {});
+
+}  // namespace dsml::engine

@@ -12,6 +12,7 @@
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "data/split.hpp"
+#include "engine/fit_score.hpp"
 #include "ml/metrics.hpp"
 
 namespace dsml::ml {
@@ -109,17 +110,24 @@ void SelectModel::fit(const data::Dataset& train) {
   parallel_for(0, candidates_.size(), [&](std::size_t i) {
     trace::Span cand_span(
         [&] { return "candidate " + candidates_[i].name; }, "ml");
-    ValidationOptions opts = options_;
-    opts.seed = options_.seed + i;  // folds differ per candidate, as when
-                                    // each model is evaluated independently
-    try {
-      DSML_FAIL("select.candidate");
-      estimates_[i] = estimate_error(candidates_[i].make, train, opts);
-    } catch (const std::exception& e) {
+    engine::FitScoreRequest request;
+    request.model = candidates_[i];
+    request.train = &train;
+    request.estimate = true;
+    request.validation = options_;
+    request.validation.seed = options_.seed + i;  // folds differ per
+                                                  // candidate, as when each
+                                                  // model is evaluated
+                                                  // independently
+    request.fit = false;  // only the winner is fitted, below
+    request.failpoint = "select.candidate";
+    engine::FitScoreResult cell = engine::fit_and_score(request);
+    if (cell.ok()) {
+      estimates_[i] = std::move(cell.estimate);
+    } else {
       estimates_[i].average = std::numeric_limits<double>::infinity();
       estimates_[i].maximum = std::numeric_limits<double>::infinity();
-      estimate_failures[i] =
-          FailureRecord{candidates_[i].name, error_kind(e), e.what()};
+      estimate_failures[i] = std::move(*cell.failure);
     }
   });
   // Serial reduction keeps failures_ in candidate order regardless of which
@@ -155,18 +163,20 @@ void SelectModel::fit(const data::Dataset& train) {
                  : "; first: " + failures_.front().message));
   }
   for (std::size_t idx : ranked) {
-    try {
-      auto model = candidates_[idx].make();
-      DSML_FAIL("select.final_fit");
-      model->fit(train);
-      chosen_ = std::move(model);
+    engine::FitScoreRequest request;
+    request.model = candidates_[idx];
+    request.train = &train;
+    request.failpoint = "select.final_fit";
+    engine::FitScoreResult cell = engine::fit_and_score(request);
+    if (cell.ok()) {
+      chosen_ = std::move(cell.model);
       chosen_index_ = idx;
       chosen_name_ = candidates_[idx].name;
       return;
-    } catch (const std::exception& e) {
-      failures_.push_back(FailureRecord{candidates_[idx].name + " final fit",
-                                        error_kind(e), e.what()});
     }
+    failures_.push_back(FailureRecord{candidates_[idx].name + " final fit",
+                                      cell.failure->error_type,
+                                      cell.failure->message});
   }
   throw TrainingError("SelectModel", "final fit",
                       "every candidate's final fit failed; first: " +

@@ -1,0 +1,20 @@
+// Fixture: direct-model-load-in-tools violation (tools/ code loading a model
+// artifact directly instead of going through engine::ModelRegistry), plus an
+// allow-directive escape on the second load.
+#include <memory>
+#include <string>
+
+namespace ml {
+struct Regressor;
+// NOLINTNEXTLINE-style escape: the declaration itself matches the call
+// pattern, so it carries the allow directive on its own line.
+std::unique_ptr<Regressor> load_model(const std::string&);  // dsml-lint: allow(direct-model-load-in-tools)
+}  // namespace ml
+
+void naughty(const std::string& path) {
+  auto direct = ml::load_model(path);
+  auto sanctioned =
+      ml::load_model(path);  // dsml-lint: allow(direct-model-load-in-tools)
+  (void)direct;
+  (void)sanctioned;
+}

@@ -5,7 +5,11 @@
 #include <filesystem>
 #include <sstream>
 
+#include "common/csv.hpp"
 #include "common/json.hpp"
+#include "data/column.hpp"
+#include "engine/design_space.hpp"
+#include "engine/schema.hpp"
 
 namespace dsml::cli {
 namespace {
@@ -21,6 +25,71 @@ CliResult run_cli(std::vector<std::string> args) {
   std::ostringstream err;
   const int code = run(args, out, err);
   return {code, out.str(), err.str()};
+}
+
+/// Variant feeding `input` as the command's stdin (`dsml serve`).
+CliResult run_cli(std::vector<std::string> args, const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run(args, in, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Serializes design-space row `row` as a serve-protocol JSON object keyed
+/// by schema column names.
+std::string design_row_json(std::size_t row) {
+  const engine::Schema& schema = engine::design_space_schema();
+  const data::Dataset& space = engine::design_space_dataset();
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const engine::SchemaColumn& col : schema.columns()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << col.name << "\":";
+    const data::Column& c = space.feature(col.name);
+    switch (col.kind) {
+      case data::ColumnKind::kNumeric:
+        os << c.numeric_at(row);
+        break;
+      case data::ColumnKind::kFlag:
+        os << (c.code_at(row) != 0 ? "true" : "false");
+        break;
+      case data::ColumnKind::kCategorical:
+        os << "\"" << c.label_at(row) << "\"";
+        break;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+/// Writes the first `n` design-space rows as a CSV file in schema order.
+void write_design_csv(const std::string& path, std::size_t n) {
+  const engine::Schema& schema = engine::design_space_schema();
+  const data::Dataset& space = engine::design_space_dataset();
+  csv::Table table;
+  for (const engine::SchemaColumn& col : schema.columns()) {
+    table.header.push_back(col.name);
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<std::string> cells;
+    for (const engine::SchemaColumn& col : schema.columns()) {
+      const data::Column& c = space.feature(col.name);
+      if (col.kind == data::ColumnKind::kNumeric) {
+        std::ostringstream cell;
+        cell << c.numeric_at(r);
+        cells.push_back(cell.str());
+      } else if (col.kind == data::ColumnKind::kFlag) {
+        cells.push_back(c.code_at(r) != 0 ? "1" : "0");
+      } else {
+        cells.push_back(c.label_at(r));
+      }
+    }
+    table.rows.push_back(std::move(cells));
+  }
+  csv::write_file(path, table);
 }
 
 // The CLI tests use a throwaway cache dir and tiny sweeps so they stay fast.
@@ -240,6 +309,136 @@ TEST_F(CliTest, StatsJsonExport) {
   EXPECT_TRUE(doc.contains("gauges"));
   EXPECT_TRUE(doc.contains("histograms"));
   std::filesystem::remove(json_path);
+}
+
+TEST_F(CliTest, MalformedCountFlagsFailWithTaxonomyErrors) {
+  // Bare std::stoull used to let these crash with a raw std::invalid_argument
+  // (or silently accept "3x" as 3); the checked parser names the flag.
+  {
+    const auto result = run_cli({"sweep", "--app", "applu", "--full", "abc"});
+    EXPECT_EQ(result.exit_code, 1);
+    EXPECT_NE(result.err.find("--full"), std::string::npos) << result.err;
+    EXPECT_NE(result.err.find("non-negative integer"), std::string::npos);
+  }
+  {
+    auto args = tiny_sweep_args();
+    args.insert(args.begin(),
+                {"train", "--app", "applu", "--rate", "0.02", "--model",
+                 "LR-B", "--out", "/tmp/never_written.dsml"});
+    args.insert(args.end(), {"--seed", "12monkeys"});
+    const auto result = run_cli(args);
+    EXPECT_EQ(result.exit_code, 1);
+    EXPECT_NE(result.err.find("--seed"), std::string::npos) << result.err;
+    EXPECT_FALSE(std::filesystem::exists("/tmp/never_written.dsml"));
+  }
+  {
+    const auto result =
+        run_cli({"predict", "--model", "whatever.dsml", "--top", "-3"});
+    EXPECT_EQ(result.exit_code, 1);
+    EXPECT_NE(result.err.find("--top"), std::string::npos) << result.err;
+  }
+}
+
+TEST_F(CliTest, PredictCsvScoresExternalRows) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string model_path = (tmp / "dsml_cli_csv_model.dsml").string();
+  const std::string csv_path = (tmp / "dsml_cli_predict_rows.csv").string();
+
+  auto train_args = tiny_sweep_args();
+  train_args.insert(train_args.begin(),
+                    {"train", "--app", "applu", "--rate", "0.02", "--model",
+                     "LR-B", "--out", model_path});
+  ASSERT_EQ(run_cli(train_args).exit_code, 0);
+
+  write_design_csv(csv_path, 5);
+  const auto result =
+      run_cli({"predict", "--model", model_path, "--csv", csv_path});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("predicted cycles"), std::string::npos);
+  EXPECT_NE(result.out.find("5 configurations"), std::string::npos)
+      << result.out;
+
+  std::filesystem::remove(model_path);
+  std::filesystem::remove(csv_path);
+}
+
+TEST_F(CliTest, ServeAnswersRequestsAndSurvivesBadLines) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string model_path = (tmp / "dsml_cli_serve_model.dsml").string();
+  auto train_args = tiny_sweep_args();
+  train_args.insert(train_args.begin(),
+                    {"train", "--app", "applu", "--rate", "0.02", "--model",
+                     "LR-B", "--out", model_path});
+  ASSERT_EQ(run_cli(train_args).exit_code, 0);
+
+  const std::string input =
+      "{\"rows\": [" + design_row_json(0) + "," + design_row_json(7) + "]}\n"
+      "this is not json\n"
+      "{\"model\": \"nope\", \"rows\": [" + design_row_json(0) + "]}\n";
+  const auto result =
+      run_cli({"serve", "--models", "applu=" + model_path}, input);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.err.find("serving 1 model(s)"), std::string::npos);
+
+  std::istringstream lines(result.out);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const json::Value good = json::Value::parse(line);
+  EXPECT_TRUE(good.at("ok").as_bool());
+  EXPECT_EQ(good.at("model").as_string(), "applu");
+  EXPECT_EQ(good.at("predictions").items().size(), 2u);
+
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_FALSE(json::Value::parse(line).at("ok").as_bool());
+
+  ASSERT_TRUE(std::getline(lines, line));
+  const json::Value unknown = json::Value::parse(line);
+  EXPECT_FALSE(unknown.at("ok").as_bool());
+  EXPECT_NE(unknown.at("error").as_string().find("nope"), std::string::npos);
+
+  EXPECT_FALSE(std::getline(lines, line));  // exactly one line per request
+  std::filesystem::remove(model_path);
+}
+
+TEST_F(CliTest, ServeReportsPartialFailureUnderFailpoint) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string model_path =
+      (tmp / "dsml_cli_serve_fail_model.dsml").string();
+  auto train_args = tiny_sweep_args();
+  train_args.insert(train_args.begin(),
+                    {"train", "--app", "applu", "--rate", "0.02", "--model",
+                     "LR-B", "--out", model_path});
+  ASSERT_EQ(run_cli(train_args).exit_code, 0);
+
+  // Batch predict fails once, the degraded per-row retry then poisons the
+  // first row: the response must carry the surviving prediction and name
+  // the failed row, and the loop must keep serving the next request.
+  const std::string input =
+      "{\"rows\": [" + design_row_json(0) + "," + design_row_json(1) + "]}\n" +
+      "{\"rows\": [" + design_row_json(2) + "]}\n";
+  const auto result = run_cli(
+      {"--failpoints",
+       "engine.session.flush=nth:1,engine.session.row=nth:1", "serve",
+       "--models", "applu=" + model_path},
+      input);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+
+  std::istringstream lines(result.out);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const json::Value partial = json::Value::parse(line);
+  EXPECT_FALSE(partial.at("ok").as_bool());
+  EXPECT_TRUE(partial.at("partial").as_bool());
+  const auto& preds = partial.at("predictions").items();
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_TRUE(preds[0].is_null());
+  EXPECT_FALSE(preds[1].is_null());
+  ASSERT_EQ(partial.at("errors").items().size(), 1u);
+  EXPECT_EQ(partial.at("errors").items()[0].at("row").as_number(), 0.0);
+
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_TRUE(json::Value::parse(line).at("ok").as_bool());
+  std::filesystem::remove(model_path);
 }
 
 TEST_F(CliTest, BareFastFlagIsBoolean) {

@@ -159,5 +159,24 @@ TEST(JsonParser, ParseFileErrorsOnMissingPath) {
   EXPECT_THROW(Value::parse_file("/no/such/dir/bench.json"), IoError);
 }
 
+TEST(JsonWriter, CompactModeEmitsOneLine) {
+  Writer w(/*compact=*/true);
+  w.begin_object();
+  w.field("ok", true);
+  w.key("predictions").begin_array().value(1.5).null().end_array();
+  w.field("model", "gcc");
+  w.end_object();
+  const std::string doc = w.str();
+  // Exactly one trailing newline — the JSON-lines framing contract.
+  ASSERT_FALSE(doc.empty());
+  EXPECT_EQ(doc.back(), '\n');
+  EXPECT_EQ(doc.find('\n'), doc.size() - 1);
+  EXPECT_EQ(doc, "{\"ok\":true,\"predictions\":[1.5,null],\"model\":\"gcc\"}\n");
+  // And it round-trips through the parser.
+  const Value v = Value::parse(doc);
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_TRUE(v.at("predictions").items()[1].is_null());
+}
+
 }  // namespace
 }  // namespace dsml::json

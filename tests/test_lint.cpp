@@ -237,6 +237,43 @@ TEST(LintSource, RawClockScopedToLibraryOutsideTracingLayer) {
                         "raw-clock-in-lib"));
 }
 
+TEST(LintFixtures, DirectModelLoadInTools) {
+  const auto d = lint_file(kFixtures + "/tools/bad_model_load.cpp");
+  EXPECT_TRUE(has_rule(d, "direct-model-load-in-tools"));
+  // Exactly one hit: the second call carries the allow directive.
+  EXPECT_EQ(std::count_if(d.begin(), d.end(),
+                          [](const Diagnostic& x) {
+                            return x.rule == "direct-model-load-in-tools";
+                          }),
+            1);
+  EXPECT_EQ(run_paths({kFixtures + "/tools/bad_model_load.cpp"}, nullptr), 1);
+}
+
+TEST(LintSource, DirectModelLoadScopedToTools) {
+  const std::string source =
+      "void f() { auto m = ml::load_model(\"model.dsml\"); }\n";
+  EXPECT_TRUE(has_rule(lint_source("tools/cli.cpp", source),
+                       "direct-model-load-in-tools"));
+  EXPECT_TRUE(has_rule(lint_source("tools/bench_ml.cpp", source),
+                       "direct-model-load-in-tools"));
+  // The unqualified call form is caught too.
+  EXPECT_TRUE(has_rule(
+      lint_source("tools/cli.cpp", "auto m = load_model(path);\n"),
+      "direct-model-load-in-tools"));
+  // The engine wrapper, library code, and tests stay out of scope.
+  EXPECT_FALSE(has_rule(lint_source("src/engine/registry.cpp", source),
+                        "direct-model-load-in-tools"));
+  EXPECT_FALSE(has_rule(lint_source("src/ml/serialize.cpp", source),
+                        "direct-model-load-in-tools"));
+  EXPECT_FALSE(has_rule(lint_source("tests/test_serialize.cpp", source),
+                        "direct-model-load-in-tools"));
+  // Mentioning the symbol without calling it (docs, the registry's own
+  // comments) is fine.
+  EXPECT_FALSE(has_rule(
+      lint_source("tools/cli.cpp", "int load_model_count = 0;\n"),
+      "direct-model-load-in-tools"));
+}
+
 TEST(LintSource, RawStdThrowScopedToLibraryOutsideErrorHeader) {
   const std::string source =
       "void f() { throw std::runtime_error(\"boom\"); }\n";

@@ -80,6 +80,23 @@ TEST(ParseDouble, InvalidThrows) {
   EXPECT_THROW(parse_double("1.5x"), IoError);
 }
 
+TEST(ParseU64, Valid) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64(" 42 "), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), 18446744073709551615ull);
+}
+
+TEST(ParseU64, InvalidThrows) {
+  // Everything std::stoull would mis-handle: trailing junk silently
+  // truncated, negatives wrapped to huge values, overflow.
+  EXPECT_THROW(parse_u64(""), IoError);
+  EXPECT_THROW(parse_u64("abc"), IoError);
+  EXPECT_THROW(parse_u64("12monkeys"), IoError);
+  EXPECT_THROW(parse_u64("-3"), IoError);
+  EXPECT_THROW(parse_u64("3.5"), IoError);
+  EXPECT_THROW(parse_u64("18446744073709551616"), IoError);  // 2^64
+}
+
 TEST(FormatDouble, FixedDigits) {
   EXPECT_EQ(format_double(3.14159, 2), "3.14");
   EXPECT_EQ(format_double(2.0, 0), "2");

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -21,6 +23,11 @@
 #include "dse/chronological.hpp"
 #include "dse/sampled.hpp"
 #include "dse/sweep.hpp"
+#include "engine/design_space.hpp"
+#include "engine/fit_score.hpp"
+#include "engine/registry.hpp"
+#include "engine/serve.hpp"
+#include "engine/session.hpp"
 #include "lint/lint.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
@@ -79,6 +86,21 @@ Options parse_options(const std::vector<std::string>& args,
   return out;
 }
 
+/// Checked integer flag parsing. User input must surface as a taxonomy
+/// error naming the flag ("--top: expected ..."), never as the raw
+/// std::invalid_argument / std::out_of_range that bare std::stoull throws.
+std::size_t parse_count_flag(const Options& opt, const std::string& key,
+                             const std::string& fallback) {
+  const std::string value = opt.get_or(key, fallback);
+  try {
+    return static_cast<std::size_t>(strings::parse_u64(value));
+  } catch (const IoError&) {
+    throw InvalidArgument("--" + key +
+                          ": expected a non-negative integer, got '" + value +
+                          "'");
+  }
+}
+
 std::vector<std::string> parse_list(const std::string& csv) {
   std::vector<std::string> out;
   for (const auto& part : strings::split(csv, ',')) {
@@ -105,20 +127,23 @@ specdata::RatingTarget parse_target(const std::string& spec) {
   if (spec == "int") return specdata::RatingTarget::int_rate();
   if (spec == "fp") return specdata::RatingTarget::fp_rate();
   if (spec.rfind("app:", 0) == 0) {
-    return specdata::RatingTarget::int_app(
-        static_cast<std::size_t>(std::stoul(spec.substr(4))));
+    std::size_t index = 0;
+    try {
+      index = static_cast<std::size_t>(strings::parse_u64(spec.substr(4)));
+    } catch (const IoError&) {
+      throw InvalidArgument("--target app:<i> needs an integer index, got '" +
+                            spec + "'");
+    }
+    return specdata::RatingTarget::int_app(index);
   }
   throw InvalidArgument("unknown target '" + spec + "' (int|fp|app:<i>)");
 }
 
 dse::SweepOptions sweep_options_from(const Options& opt) {
   dse::SweepOptions sweep;
-  sweep.full_trace_instructions = static_cast<std::size_t>(
-      std::stoull(opt.get_or("full", "600000")));
-  sweep.interval_instructions = static_cast<std::size_t>(
-      std::stoull(opt.get_or("interval", "30000")));
-  sweep.max_clusters =
-      static_cast<std::size_t>(std::stoull(opt.get_or("clusters", "4")));
+  sweep.full_trace_instructions = parse_count_flag(opt, "full", "600000");
+  sweep.interval_instructions = parse_count_flag(opt, "interval", "30000");
+  sweep.max_clusters = parse_count_flag(opt, "clusters", "4");
   return sweep;
 }
 
@@ -218,41 +243,106 @@ int cmd_train(const Options& opt, std::ostream& out) {
   const double rate = strings::parse_double(opt.get_or("rate", "0.02"));
   const std::string model_name = opt.get_or("model", "NN-E");
   const std::string out_path = opt.get_or("out", "model.dsml");
+  // Parse every flag before the (expensive) sweep so a malformed --seed
+  // fails in microseconds, not after minutes of simulation.
+  Rng rng(parse_count_flag(opt, "seed", "7"));
 
   const dse::SweepResult sweep =
       dse::run_design_space_sweep(app, sweep_options_from(opt));
   const data::Dataset full = dse::sweep_dataset(sweep);
-  Rng rng(std::stoull(opt.get_or("seed", "7")));
   const auto idx = data::sample_fraction(full.n_rows(), rate, rng, 10);
   const data::Dataset train = full.select_rows(idx);
 
-  auto model = ml::make_model(model_name).make();
-  model->fit(train);
-  const double err = ml::mape(model->predict(full), full.target());
-  ml::save_model(*model, out_path);
+  engine::FitScoreRequest request;
+  request.model = ml::make_model(model_name);
+  request.train = &train;
+  request.score = &full;
+  engine::FitScoreResult cell = engine::fit_and_score(request);
+  if (!cell.ok()) {
+    throw TrainingError(model_name, "train", cell.failure->message);
+  }
+  const double err = ml::mape(cell.predictions, full.target());
+  ml::save_model(*cell.model, out_path);
+  // Registering the fresh artifact makes it immediately queryable by this
+  // process (serve loops, tests driving cli::run in-process) without a
+  // reload from disk.
+  engine::ModelRegistry::global().register_model(
+      model_name, std::shared_ptr<const ml::Regressor>(std::move(cell.model)),
+      engine::Schema::of(full), "train:" + app);
   out << "trained " << model_name << " on " << train.n_rows()
       << " simulations of '" << app << "', full-space error "
       << strings::format_double(err, 2) << "%, saved to " << out_path << "\n";
   return 0;
 }
 
+/// Scores the rows of a user-supplied CSV through an inference session,
+/// reporting partial failures per row instead of aborting the command.
+int predict_csv(engine::InferenceSession& session,
+                const engine::Schema& schema,
+                const std::string& model_label, const std::string& csv_path,
+                std::ostream& out) {
+  const csv::Table table = csv::read_file(csv_path);
+  const data::Dataset rows = schema.dataset_from_csv(table);
+  const engine::BatchOutcome outcome = session.predict_detailed(rows);
+  out << "model " << model_label << ", " << rows.n_rows()
+      << " configurations from " << csv_path << ":\n";
+  TablePrinter printer({"row", "predicted cycles"});
+  std::size_t fail_idx = 0;
+  for (std::size_t r = 0; r < outcome.values.size(); ++r) {
+    if (fail_idx < outcome.failed_rows.size() &&
+        outcome.failed_rows[fail_idx] == r) {
+      printer.add_row({std::to_string(r), "(failed)"});
+      ++fail_idx;
+    } else {
+      printer.add_row(
+          {std::to_string(r), strings::format_double(outcome.values[r], 0)});
+    }
+  }
+  printer.print(out);
+  if (!outcome.ok()) {
+    out << outcome.failed_rows.size() << " row(s) failed:\n";
+    for (std::size_t k = 0; k < outcome.failed_rows.size(); ++k) {
+      out << "  row " << outcome.failed_rows[k] << ": "
+          << outcome.row_errors[k] << "\n";
+    }
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_predict(const Options& opt, std::ostream& out) {
   const auto path = opt.get("model");
   if (!path) throw InvalidArgument("predict requires --model <file>");
-  const auto top =
-      static_cast<std::size_t>(std::stoull(opt.get_or("top", "10")));
+  const std::size_t top = parse_count_flag(opt, "top", "10");
 
-  const auto model = ml::load_model(*path);
-  const auto space = sim::enumerate_design_space();
-  const data::Dataset all = sim::make_config_dataset(space);
-  const std::vector<double> predicted = model->predict(all);
+  // The registry is the only sanctioned load path (dsml-lint forbids
+  // ml::load_model here): load once, then predict through a session so the
+  // batched kernels serve the whole space in one flush.
+  engine::ModelRegistry& registry = engine::ModelRegistry::global();
+  const std::string entry_name = "file:" + *path;
+  registry.load_file(entry_name, *path, engine::design_space_schema());
+  const auto entry = registry.get(entry_name);
+  engine::InferenceSession session(
+      registry, entry_name,
+      engine::SessionOptions{/*max_batch_rows=*/sim::kDesignSpaceSize,
+                             /*max_queue_rows=*/4 * sim::kDesignSpaceSize,
+                             /*retry_rows_on_batch_failure=*/true});
+
+  if (const auto csv_path = opt.get("csv")) {
+    return predict_csv(session, entry->schema, entry->model->name(),
+                       *csv_path, out);
+  }
+
+  const auto& space = engine::design_space_configs();
+  const std::vector<double> predicted =
+      session.predict(engine::design_space_dataset());
 
   std::vector<std::size_t> order(space.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     return predicted[a] < predicted[b];
   });
-  out << "model " << model->name() << ", top " << top
+  out << "model " << entry->model->name() << ", top " << top
       << " configurations by predicted cycles:\n";
   TablePrinter table({"rank", "configuration", "predicted cycles"});
   for (std::size_t i = 0; i < top && i < order.size(); ++i) {
@@ -260,6 +350,43 @@ int cmd_predict(const Options& opt, std::ostream& out) {
                    strings::format_double(predicted[order[i]], 0)});
   }
   table.print(out);
+  return 0;
+}
+
+/// `dsml serve --models name=path[,...]`: loads each artifact through the
+/// registry and answers JSON-lines requests from `in` until EOF. Protocol
+/// output goes to `out` only (one response per line, golden-diffable);
+/// operational banners go to `err`.
+int cmd_serve(const Options& opt, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  const auto models = opt.get("models");
+  if (!models) {
+    throw InvalidArgument("serve requires --models name=path[,name=path...]");
+  }
+  engine::ModelRegistry& registry = engine::ModelRegistry::global();
+  std::vector<std::string> names;
+  for (const std::string& spec : parse_list(*models)) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+      throw InvalidArgument("serve --models entry '" + spec +
+                            "' must be name=path");
+    }
+    const std::string name = spec.substr(0, eq);
+    registry.load_file(name, spec.substr(eq + 1),
+                       engine::design_space_schema());
+    names.push_back(name);
+  }
+  engine::ServeOptions options;
+  options.default_model =
+      opt.get_or("default", names.size() == 1 ? names.front() : "");
+  options.session.max_batch_rows = parse_count_flag(opt, "batch", "512");
+  options.session.max_queue_rows = parse_count_flag(opt, "queue", "4096");
+  err << "serving " << names.size() << " model(s): "
+      << strings::join(names, ", ") << "\n";
+  const engine::ServeSummary summary =
+      engine::serve(registry, in, out, options);
+  err << "served " << summary.requests << " request(s), " << summary.rows
+      << " row(s), " << summary.errors << " error(s)\n";
   return 0;
 }
 
@@ -274,8 +401,8 @@ int cmd_bench(const Options& opt, std::ostream& out, std::ostream& err) {
 /// `dsml stats [--json F] [command args...]`: runs the nested command (if
 /// any), then dumps the metrics registry — the aggregate work counters the
 /// pipeline reported while the command ran.
-int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
-              std::ostream& err) {
+int cmd_stats(const std::vector<std::string>& args, std::istream& in,
+              std::ostream& out, std::ostream& err) {
   std::vector<std::string> nested = args;
   std::string json_path;
   if (!nested.empty() && nested[0] == "--json") {
@@ -286,7 +413,7 @@ int cmd_stats(const std::vector<std::string>& args, std::ostream& out,
     nested.erase(nested.begin(), nested.begin() + 2);
   }
   int rc = 0;
-  if (!nested.empty()) rc = run(nested, out, err);
+  if (!nested.empty()) rc = run(nested, in, out, err);
   metrics::print(out);
   if (!json_path.empty()) {
     json::Writer w;
@@ -308,7 +435,12 @@ std::string usage() {
       "  sampled --app A [--rates R1,R2] [--models M1,M2]\n"
       "  chrono  --family F [--target int|fp|app:<i>] [--models M1,M2]\n"
       "  train   --app A --rate R --model M --out F [--seed S]\n"
-      "  predict --model F [--top N]\n"
+      "  predict --model F [--top N] [--csv F]   rank the design space, or\n"
+      "                                    score CSV rows, via the engine\n"
+      "  serve   --models N=F[,N=F...] [--default N] [--batch N] [--queue N]\n"
+      "                                    JSON-lines requests on stdin ->\n"
+      "                                    predictions on stdout (see\n"
+      "                                    docs/SERVING.md)\n"
       "  bench   [--json F] [--check F] [--fast 1]   ML perf bench + JSON report\n"
       "  stats   [--json F] [command...]   run command, dump metrics registry\n"
       "  lint    [--list-rules] [path...]   run the dsml-lint static checker\n"
@@ -323,8 +455,8 @@ std::string usage() {
 
 namespace {
 
-int dispatch(const std::vector<std::string>& args, std::ostream& out,
-             std::ostream& err) {
+int dispatch(const std::vector<std::string>& args, std::istream& in,
+             std::ostream& out, std::ostream& err) {
   const std::string& cmd = args[0];
   if (cmd == "lint") {
     // Forwarded verbatim: lint has its own option grammar (bare paths and
@@ -332,7 +464,7 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
     return lint::run({args.begin() + 1, args.end()}, out, err);
   }
   if (cmd == "stats") {
-    return cmd_stats({args.begin() + 1, args.end()}, out, err);
+    return cmd_stats({args.begin() + 1, args.end()}, in, out, err);
   }
   const Options opt = parse_options(args, 1);
   if (cmd == "list") return cmd_list(out);
@@ -341,6 +473,7 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
   if (cmd == "chrono") return cmd_chrono(opt, out);
   if (cmd == "train") return cmd_train(opt, out);
   if (cmd == "predict") return cmd_predict(opt, out);
+  if (cmd == "serve") return cmd_serve(opt, in, out, err);
   if (cmd == "bench") return cmd_bench(opt, out, err);
   err << "unknown command '" << cmd << "'\n" << usage();
   return 1;
@@ -350,6 +483,11 @@ int dispatch(const std::vector<std::string>& args, std::ostream& out,
 
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
+  return run(args, std::cin, out, err);
+}
+
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
     out << usage();
     return args.empty() ? 1 : 0;
@@ -393,7 +531,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     int rc;
     {
       trace::Span span([&] { return "dsml " + rest[0]; }, "cli");
-      rc = dispatch(rest, out, err);
+      rc = dispatch(rest, in, out, err);
     }
     if (!trace_path.empty()) trace::stop();
     return rc;

@@ -10,23 +10,32 @@
 //                                           — §4.3 experiment
 //   dsml train   --app mcf --rate 0.02 --model NN-E --out model.dsml
 //                                           — fit a surrogate, save it
-//   dsml predict --model model.dsml [--top N]
-//                                           — rank the design space with a
-//                                             saved surrogate
+//   dsml predict --model model.dsml [--top N] [--csv configs.csv]
+//                                           — rank the design space (or
+//                                             score CSV rows) with a saved
+//                                             surrogate, via the engine
+//   dsml serve   --models name=path[,...]   — JSON-lines request loop on
+//                                             stdin/stdout (docs/SERVING.md)
 //
 // Every command honours the library's environment knobs (DSML_CACHE_DIR).
 #pragma once
 
-#include <ostream>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 namespace dsml::cli {
 
 /// Runs the CLI. `args` excludes the program name. Output goes to `out`,
-/// diagnostics to `err`. Returns a process exit code.
+/// diagnostics to `err`; request input (`dsml serve`) is read from
+/// std::cin. Returns a process exit code.
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
+
+/// As above with an explicit input stream, so tests can feed `dsml serve`
+/// request lines without touching the process's stdin.
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err);
 
 /// Usage text.
 std::string usage();

@@ -444,6 +444,26 @@ void rule_raw_std_throw(const std::string& file,
              out);
 }
 
+/// Flags direct `ml::load_model(...)` calls under tools/: the CLI must
+/// resolve artifacts through engine::ModelRegistry (load_file /
+/// register_model), which validates the model against its schema at
+/// registration, versions reloads, and shares the loaded snapshot across
+/// sessions. A direct load bypasses all three and reintroduces the
+/// load-per-invocation cold start the engine layer exists to remove. The
+/// engine itself (src/engine/registry.cpp) is the one sanctioned wrapper.
+void rule_direct_model_load_in_tools(const std::string& file,
+                                     const std::string& normalized,
+                                     const SourceModel& model,
+                                     std::vector<Diagnostic>* out) {
+  if (!path_has_dir(normalized, "tools")) return;
+  static const std::regex kPattern(R"(\b(?:ml\s*::\s*)?load_model\s*\()");
+  scan_lines(file, model, kPattern, "direct-model-load-in-tools",
+             "direct model artifact load in tools/; resolve models through "
+             "engine::ModelRegistry (load_file/register_model) so schema "
+             "validation and versioning apply",
+             out);
+}
+
 bool lintable_extension(const std::filesystem::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
@@ -475,6 +495,9 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"raw-std-throw",
        "bare std::runtime_error/logic_error throw under src/ outside "
        "common/error.hpp"},
+      {"direct-model-load-in-tools",
+       "direct ml model artifact load under tools/ bypassing "
+       "engine::ModelRegistry"},
       {"unknown-allow", "allow() directive naming an unknown rule"},
   };
   return kRules;
@@ -502,6 +525,7 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   rule_matrix_elem_in_loop(path, normalized, model, &found);
   rule_raw_clock_in_lib(path, normalized, model, &found);
   rule_raw_std_throw(path, normalized, model, &found);
+  rule_direct_model_load_in_tools(path, normalized, model, &found);
 
   std::vector<Diagnostic> kept;
   for (auto& d : found) {
