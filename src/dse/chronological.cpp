@@ -7,7 +7,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
-#include "engine/fit_score.hpp"
+#include "ml/fit_score.hpp"
 
 namespace dsml::dse {
 

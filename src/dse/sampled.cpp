@@ -10,7 +10,7 @@
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "data/split.hpp"
-#include "engine/fit_score.hpp"
+#include "ml/fit_score.hpp"
 #include "ml/metrics.hpp"
 
 namespace dsml::dse {

@@ -1,4 +1,4 @@
-#include "engine/fit_score.hpp"
+#include "ml/fit_score.hpp"
 
 #include "common/failpoint.hpp"
 #include "common/metrics.hpp"

@@ -10,9 +10,10 @@
 // stages run; failure capture, failpoint injection, tracing, and metrics are
 // uniform across all of them.
 //
-// This header is part of the dsml_ml target (not dsml_engine) so the ml and
-// dse layers can call it without a dependency cycle; the rest of the engine
-// (registry, sessions, serving) builds on top of the same result type.
+// The cell lives in the ml layer (src/ml, dsml_ml) so SelectModel::fit and
+// the dse drivers can call it without an upward dependency on the engine
+// layer; the engine proper (registry, sessions, serving) builds on top of
+// the same result type and keeps the dsml::engine namespace it introduced.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,5 @@
+// Fixture: HIT for layer-violation (include cycle) — cycle_a and cycle_b
+// include each other, so neither can be ordered before the other.
+#pragma once
+
+#include "common/cycle_b.hpp"

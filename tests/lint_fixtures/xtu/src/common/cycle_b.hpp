@@ -1,0 +1,4 @@
+// Fixture: second half of the cycle_a.hpp include cycle.
+#pragma once
+
+#include "common/cycle_a.hpp"

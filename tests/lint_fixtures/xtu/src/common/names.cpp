@@ -1,0 +1,22 @@
+// Fixture: HITs for unregistered-failpoint and unregistered-metric — each
+// typo'd name is missing from docs/registries/, while the registered twins
+// right next to them stay clean.
+namespace fixture {
+
+void registered_names() {
+  DSML_FAIL("core.io.fail");
+  metrics::counter("core.requests");
+  trace::Span span("core.scan");
+}
+
+void typoed_names() {
+  DSML_FAIL("core.io.fial");
+  metrics::counter("core.reqests");
+  trace::Span span("core.sacn");
+}
+
+void dynamic_names_never_register(const char* suffix) {
+  metrics::counter(std::string("core.") + suffix);
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: SUPPRESSED twin of names.cpp — every typo'd name carries an
+// inline allow() directive, so none of them surface.
+namespace fixture {
+
+void sanctioned_typos() {
+  DSML_FAIL("core.io.fial");           // dsml-lint: allow(unregistered-failpoint)
+  metrics::counter("core.reqests");    // dsml-lint: allow(unregistered-metric)
+  trace::Span span("core.sacn");       // dsml-lint: allow(unregistered-metric)
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: HIT for layer-violation — common is the bottom layer, so this
+// include is a back-edge against tools/lint/layers.def.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace fixture {
+inline int bottom_calls_up() { return model_rank(); }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: SUPPRESSED twin of uses_ml.hpp — the inline allow() directive on
+// the include line keeps the back-edge out of the findings.
+#pragma once
+
+#include "ml/model.hpp"  // dsml-lint: allow(layer-violation)
+
+namespace fixture {
+inline int sanctioned_call_up() { return model_rank(); }
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: a legal upper-layer header (ml may depend on common).
+#pragma once
+
+#include "common/cycle_a.hpp"
+
+namespace fixture {
+inline int model_rank() { return 3; }
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: HIT for missing-tsan-label — this test uses the thread pool but
+// its dsml_test() entry in tests/CMakeLists.txt carries no tsan label.
+#include "common/thread_pool.hpp"
+
+namespace fixture {
+void drive_pool() {}
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: CLEAN twin of test_pool.cpp — the dsml_test() entry carries
+// LABELS tsan, so the concurrency include is fine.
+#include "common/thread_pool.hpp"
+
+namespace fixture {
+void drive_pool_labelled() {}
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: SUPPRESSED twin of test_pool.cpp — the allow() directive on the
+// include line overrides the missing label.
+#include "common/thread_pool.hpp"  // dsml-lint: allow(missing-tsan-label)
+
+namespace fixture {
+void drive_pool_suppressed() {}
+}  // namespace fixture

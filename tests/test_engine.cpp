@@ -17,7 +17,7 @@
 #include "data/column.hpp"
 #include "data/dataset.hpp"
 #include "engine/design_space.hpp"
-#include "engine/fit_score.hpp"
+#include "ml/fit_score.hpp"
 #include "engine/registry.hpp"
 #include "engine/schema.hpp"
 #include "engine/session.hpp"

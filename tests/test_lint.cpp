@@ -1,13 +1,17 @@
 #include "lint/lint.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace dsml::lint {
 namespace {
@@ -341,6 +345,305 @@ TEST(LintSource, MultiRuleAllowList) {
       "void f() { delete make(); }  "
       "// dsml-lint: allow(naked-new, catch-all-swallow)\n";
   EXPECT_TRUE(lint_source("src/common/x.cpp", source).empty());
+}
+
+// --- Cross-TU rules on the xtu fixture project ------------------------------
+
+namespace fs = std::filesystem;
+
+const std::string kXtu = kFixtures + "/xtu";
+const std::string kRepoRoot = DSML_REPO_ROOT;
+
+std::vector<Diagnostic> analyze_xtu() {
+  AnalyzeOptions options;
+  options.root = kXtu;
+  options.use_cache = false;
+  return analyze_paths({kXtu}, options);
+}
+
+std::size_t count_rule(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+bool has_finding(const std::vector<Diagnostic>& diagnostics,
+                 const std::string& file_part, const std::string& rule,
+                 const std::string& message_part = "") {
+  return std::any_of(
+      diagnostics.begin(), diagnostics.end(), [&](const Diagnostic& d) {
+        return d.rule == rule &&
+               d.file.find(file_part) != std::string::npos &&
+               d.message.find(message_part) != std::string::npos;
+      });
+}
+
+/// Writes `content` to `file`, creating parent directories.
+void write_file(const fs::path& file, const std::string& content) {
+  fs::create_directories(file.parent_path());
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << file;
+  out << content;
+}
+
+/// A fresh scratch directory under the gtest temp root.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("dsml_lint_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(LintXtu, LayerBackEdgeIsFlaggedAtTheIncludeLine) {
+  const auto d = analyze_xtu();
+  ASSERT_TRUE(has_finding(d, "uses_ml.hpp", "layer-violation", "back-edge"));
+  const auto hit = std::find_if(d.begin(), d.end(), [](const Diagnostic& x) {
+    return x.rule == "layer-violation" &&
+           x.file.find("uses_ml.hpp") != std::string::npos;
+  });
+  EXPECT_EQ(hit->line, 5u);
+  EXPECT_NE(hit->message.find("layer 'common'"), std::string::npos);
+  EXPECT_NE(hit->message.find("src/ml/model.hpp"), std::string::npos);
+}
+
+TEST(LintXtu, IncludeCycleIsReportedOnceCanonically) {
+  const auto d = analyze_xtu();
+  EXPECT_TRUE(has_finding(
+      d, "cycle_a.hpp", "layer-violation",
+      "include cycle: src/common/cycle_a.hpp -> src/common/cycle_b.hpp -> "
+      "src/common/cycle_a.hpp"));
+  // One report for the cycle however it was entered, one for the back-edge.
+  EXPECT_EQ(count_rule(d, "layer-violation"), 2u);
+}
+
+TEST(LintXtu, UnregisteredNamesAreFlaggedRegisteredOnesAreNot) {
+  const auto d = analyze_xtu();
+  EXPECT_TRUE(has_finding(d, "names.cpp", "unregistered-failpoint",
+                          "'core.io.fial'"));
+  EXPECT_TRUE(
+      has_finding(d, "names.cpp", "unregistered-metric", "'core.reqests'"));
+  EXPECT_TRUE(
+      has_finding(d, "names.cpp", "unregistered-metric", "'core.sacn'"));
+  // The registered twins and the dynamic (concatenated) name stay clean.
+  EXPECT_EQ(count_rule(d, "unregistered-failpoint"), 1u);
+  EXPECT_EQ(count_rule(d, "unregistered-metric"), 2u);
+}
+
+TEST(LintXtu, MissingTsanLabelScopedToUnlabelledTests) {
+  const auto d = analyze_xtu();
+  EXPECT_TRUE(has_finding(d, "tests/test_pool.cpp", "missing-tsan-label",
+                          "common/thread_pool.hpp"));
+  EXPECT_EQ(count_rule(d, "missing-tsan-label"), 1u);
+}
+
+TEST(LintXtu, SuppressedTwinsStayQuiet) {
+  const auto d = analyze_xtu();
+  for (const char* quiet :
+       {"uses_ml_suppressed", "names_suppressed", "test_pool_suppressed",
+        "test_pool_labelled"}) {
+    EXPECT_FALSE(std::any_of(d.begin(), d.end(),
+                             [&](const Diagnostic& x) {
+                               return x.file.find(quiet) != std::string::npos;
+                             }))
+        << quiet;
+  }
+  // Exactly the six fixture hits fire (back-edge, cycle, three names, one
+  // unlabelled test): anything else is a fixture regression.
+  EXPECT_EQ(d.size(), 6u);
+}
+
+TEST(LintXtu, CliRunWithExplicitRoot) {
+  std::string text;
+  EXPECT_EQ(run_paths({"--no-cache", "--root", kXtu, kXtu}, &text), 1);
+  for (const char* rule : {"layer-violation", "unregistered-failpoint",
+                           "unregistered-metric", "missing-tsan-label"}) {
+    EXPECT_NE(text.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(LintXtu, LintPathsBackCompatSkipsCrossTuRules) {
+  // The per-file-only wrapper sees a clean fixture tree: every xtu finding
+  // is a cross-TU one.
+  EXPECT_TRUE(lint_paths({kXtu}).empty());
+}
+
+// --- Graph dumps ------------------------------------------------------------
+
+TEST(LintGraph, JsonOfSrcCommonMatchesCommittedGolden) {
+  std::string text;
+  ASSERT_EQ(run_paths({"--no-cache", "--root", kRepoRoot, "--graph", "json",
+                       kRepoRoot + "/src/common"},
+                      &text),
+            0);
+  std::ifstream golden(kRepoRoot + "/tests/data/lint/graph_src_common.json",
+                       std::ios::binary);
+  ASSERT_TRUE(golden);
+  std::ostringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(text, expected.str())
+      << "regenerate with: dsml lint --no-cache --graph json src/common "
+         "> tests/data/lint/graph_src_common.json";
+}
+
+TEST(LintGraph, DotRendersTheLayerDigraph) {
+  std::string text;
+  ASSERT_EQ(run_paths({"--no-cache", "--root", kXtu, "--graph", "dot", kXtu},
+                      &text),
+            0);
+  EXPECT_NE(text.find("digraph dsml_layers"), std::string::npos);
+  EXPECT_NE(text.find("\"common\""), std::string::npos);
+  EXPECT_NE(text.find("\"ml\" -> \"common\""), std::string::npos);
+}
+
+TEST(LintGraph, BadGraphModeExitsTwo) {
+  EXPECT_EQ(run_paths({"--graph", "svg", kXtu}, nullptr), 2);
+  EXPECT_EQ(run_paths({"--graph"}, nullptr), 2);
+}
+
+// --- SARIF export -----------------------------------------------------------
+
+TEST(LintSarif, ExportsFindingsWithRuleMetadata) {
+  const fs::path dir = scratch_dir("sarif");
+  const std::string sarif = (dir / "lint.sarif").string();
+  EXPECT_EQ(run_paths({"--no-cache", "--sarif", sarif,
+                       kFixtures + "/bad_rand.cpp"},
+                      nullptr),
+            1);
+  const json::Value doc = json::Value::parse_file(sarif);
+  EXPECT_EQ(doc.at("version").as_string(), "2.1.0");
+  const json::Value& driver =
+      doc.at("runs").items().at(0).at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").as_string(), "dsml-lint");
+  EXPECT_EQ(driver.at("rules").items().size(), rule_catalogue().size());
+  const auto& results = doc.at("runs").items().at(0).at("results").items();
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results.front().at("ruleId").as_string(), "rand-source");
+  EXPECT_EQ(results.front().at("level").as_string(), "error");
+  const json::Value& location =
+      results.front().at("locations").items().at(0).at("physicalLocation");
+  EXPECT_GE(location.at("region").at("startLine").as_number(), 1.0);
+}
+
+TEST(LintSarif, CleanRunWritesEmptyResults) {
+  const fs::path dir = scratch_dir("sarif_clean");
+  const std::string sarif = (dir / "clean.sarif").string();
+  EXPECT_EQ(run_paths({"--no-cache", "--sarif", sarif,
+                       kFixtures + "/clean.cpp"},
+                      nullptr),
+            0);
+  const json::Value doc = json::Value::parse_file(sarif);
+  EXPECT_TRUE(doc.at("runs").items().at(0).at("results").items().empty());
+}
+
+// --- Incremental cache ------------------------------------------------------
+
+TEST(LintCache, WarmRunIsIdenticalAndEditsInvalidate) {
+  const fs::path dir = scratch_dir("cache");
+  const fs::path cache = dir / ".dsml_cache";
+  const fs::path source = dir / "src" / "common" / "leaky.cpp";
+  write_file(source, "void f() { int* p = new int(1); use(p); }\n");
+
+  const std::vector<std::string> args = {"--cache-dir", cache.string(),
+                                         source.string()};
+  std::string cold;
+  std::string warm;
+  EXPECT_EQ(run_paths(args, &cold), 1);
+  EXPECT_TRUE(fs::is_regular_file(cache / "lint.cache"));
+  EXPECT_EQ(run_paths(args, &warm), 1);
+  EXPECT_EQ(cold, warm);
+
+  // A content change must invalidate the entry, not replay stale findings.
+  write_file(source, "void f() { auto p = make(); use(p); }\n");
+  std::string fixed;
+  EXPECT_EQ(run_paths(args, &fixed), 0);
+  EXPECT_TRUE(fixed.empty());
+}
+
+TEST(LintCache, NoCacheFlagLeavesNoCacheDirectory) {
+  const fs::path dir = scratch_dir("nocache");
+  const fs::path cache = dir / ".dsml_cache";
+  const fs::path source = dir / "clean_unit.cpp";
+  write_file(source, "inline int one() { return 1; }\n");
+  EXPECT_EQ(run_paths({"--no-cache", "--cache-dir", cache.string(),
+                       source.string()},
+                      nullptr),
+            0);
+  EXPECT_FALSE(fs::exists(cache));
+}
+
+// --- Error handling contract ------------------------------------------------
+
+TEST(LintCli, UnreadableFileReportsAndExitsTwo) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "root bypasses file permissions";
+  }
+  const fs::path dir = scratch_dir("unreadable");
+  const fs::path source = dir / "secret.cpp";
+  write_file(source, "inline int x = 1;\n");
+  fs::permissions(source, fs::perms::none);
+  std::string text;
+  EXPECT_EQ(run_paths({"--no-cache", source.string()}, &text), 2);
+  EXPECT_NE(text.find("cannot read"), std::string::npos);
+  fs::permissions(source, fs::perms::owner_all);
+}
+
+TEST(LintCli, MissingFlagValueExitsTwo) {
+  EXPECT_EQ(run_paths({"--sarif"}, nullptr), 2);
+  EXPECT_EQ(run_paths({"--cache-dir"}, nullptr), 2);
+  EXPECT_EQ(run_paths({"--root"}, nullptr), 2);
+}
+
+TEST(LintCli, ListRulesUsesIdDashSummaryFormat) {
+  std::string text;
+  EXPECT_EQ(run_paths({"--list-rules"}, &text), 0);
+  for (const auto& rule : rule_catalogue()) {
+    EXPECT_NE(text.find(rule.id + " — " + rule.summary), std::string::npos)
+        << rule.id;
+  }
+  // The cross-TU rules are part of the same catalogue.
+  EXPECT_NE(text.find("layer-violation"), std::string::npos);
+  EXPECT_NE(text.find("missing-tsan-label"), std::string::npos);
+}
+
+// --- Registry regeneration --------------------------------------------------
+
+TEST(LintRegistries, UpdateThenLintRoundTrips) {
+  const fs::path root = scratch_dir("registries");
+  write_file(root / "tools" / "lint" / "layers.def",
+             "layer common src/common\n");
+  const std::string site = std::string("void f() {\n") +
+                           "  DSML_FAIL(\"fix.io\");\n" +
+                           "  metrics::counter(\"fix.requests\");\n" + "}\n";
+  write_file(root / "src" / "common" / "obs.cpp", site);
+
+  std::string text;
+  EXPECT_EQ(run_paths({"--no-cache", "--root", root.string(),
+                       "--update-registries"},
+                      &text),
+            0);
+  EXPECT_NE(text.find("updated"), std::string::npos);
+  for (const char* manifest :
+       {"failpoints.txt", "metrics.txt", "spans.txt"}) {
+    EXPECT_TRUE(
+        fs::is_regular_file(root / "docs" / "registries" / manifest))
+        << manifest;
+  }
+
+  // The regenerated manifests make the project lint clean...
+  EXPECT_EQ(run_paths({"--no-cache", "--root", root.string(),
+                       (root / "src").string()},
+                      nullptr),
+            0);
+
+  // ...and a new, unregistered name is caught until the next regeneration.
+  write_file(root / "src" / "common" / "typo.cpp",
+             "void g() { DSML_FAIL(\"fix.oi\"); }\n");
+  EXPECT_EQ(run_paths({"--no-cache", "--root", root.string(),
+                       (root / "src").string()},
+                      &text),
+            1);
+  EXPECT_NE(text.find("unregistered-failpoint"), std::string::npos);
 }
 
 }  // namespace

@@ -24,7 +24,7 @@
 #include "dse/sampled.hpp"
 #include "dse/sweep.hpp"
 #include "engine/design_space.hpp"
-#include "engine/fit_score.hpp"
+#include "ml/fit_score.hpp"
 #include "engine/registry.hpp"
 #include "engine/serve.hpp"
 #include "engine/session.hpp"
@@ -443,7 +443,10 @@ std::string usage() {
       "                                    docs/SERVING.md)\n"
       "  bench   [--json F] [--check F] [--fast 1]   ML perf bench + JSON report\n"
       "  stats   [--json F] [command...]   run command, dump metrics registry\n"
-      "  lint    [--list-rules] [path...]   run the dsml-lint static checker\n"
+      "  lint    [--list-rules] [--graph dot|json] [--sarif F]\n"
+      "          [--update-registries] [--no-cache] [--root D] [path...]\n"
+      "                                    run the dsml-lint project analyzer\n"
+      "                                    (see docs/STATIC_ANALYSIS.md)\n"
       "\n"
       "global options:\n"
       "  --trace F          collect a Chrome trace (chrome://tracing) into F\n"

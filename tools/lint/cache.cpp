@@ -1,0 +1,143 @@
+// Phase-1 incremental cache: FileModels keyed by absolute path and content
+// hash, persisted as a line-oriented text file under .dsml_cache/. The
+// header carries a fingerprint of the rule catalogue, so changing any rule
+// id or summary (i.e. shipping a new linter) drops every stale entry at
+// once. The cache is a pure optimization: any read/parse problem silently
+// falls back to a full scan, and a failed store never fails the lint.
+#include <fstream>
+#include <sstream>
+
+#include "lint/internal.hpp"
+
+namespace dsml::lint::internal {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kMagic = "dsml-lint-cache";
+constexpr const char* kVersion = "v1";
+
+std::string catalogue_fingerprint() {
+  std::string text = kVersion;
+  for (const RuleInfo& rule : rule_catalogue()) {
+    text += '\x1f';
+    text += rule.id;
+    text += '\x1f';
+    text += rule.summary;
+  }
+  std::ostringstream hex;
+  hex << std::hex << fnv1a(text);
+  return hex.str();
+}
+
+fs::path cache_file(const fs::path& cache_dir) {
+  return cache_dir / "lint.cache";
+}
+
+/// Rest-of-line after the current stream position, without the leading
+/// separator space.
+std::string rest_of(std::istringstream& in) {
+  std::string rest;
+  std::getline(in, rest);
+  if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+  return rest;
+}
+
+}  // namespace
+
+ModelCache load_model_cache(const fs::path& cache_dir) {
+  ModelCache cache;
+  std::ifstream in(cache_file(cache_dir), std::ios::binary);
+  if (!in) return cache;
+  std::string line;
+  if (!std::getline(in, line)) return cache;
+  {
+    std::istringstream header(line);
+    std::string magic, version, fingerprint;
+    header >> magic >> version >> fingerprint;
+    if (magic != kMagic || version != kVersion ||
+        fingerprint != catalogue_fingerprint()) {
+      return cache;  // a different linter wrote this; rebuild everything
+    }
+  }
+  FileModel* current = nullptr;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag)) continue;
+    if (tag == "F") {
+      std::uint64_t hash = 0;
+      fields >> hash;
+      const std::string key = rest_of(fields);
+      if (key.empty()) {
+        current = nullptr;
+        continue;
+      }
+      current = &cache.entries[key];
+      current->content_hash = hash;
+      current->path = key;  // rewritten to the caller's spelling on reuse
+      continue;
+    }
+    if (current == nullptr) continue;
+    std::size_t line_no = 0;
+    if (tag == "I") {
+      fields >> line_no;
+      current->includes.push_back({line_no, rest_of(fields)});
+    } else if (tag == "N") {
+      int kind = 0;
+      fields >> line_no >> kind;
+      if (kind < 0 || kind > static_cast<int>(NameUse::Kind::kSpan)) continue;
+      current->names.push_back(
+          {line_no, static_cast<NameUse::Kind>(kind), rest_of(fields)});
+    } else if (tag == "S") {
+      std::string rule;
+      fields >> line_no >> rule;
+      current->allows.emplace_back(line_no, rule);
+    } else if (tag == "D") {
+      std::string rule;
+      fields >> line_no >> rule;
+      current->diagnostics.push_back(
+          {current->path, line_no, rule, rest_of(fields)});
+    }
+    // Unknown tags are ignored so future formats degrade to partial reuse.
+  }
+  return cache;
+}
+
+void store_model_cache(const fs::path& cache_dir, const ModelCache& cache) {
+  std::error_code ec;
+  fs::create_directories(cache_dir, ec);
+  if (ec) return;
+  const fs::path target = cache_file(cache_dir);
+  const fs::path temp = target.string() + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << kMagic << " " << kVersion << " " << catalogue_fingerprint()
+        << "\n";
+    for (const auto& [key, model] : cache.entries) {
+      out << "F " << model.content_hash << " " << key << "\n";
+      for (const IncludeRef& inc : model.includes) {
+        out << "I " << inc.line << " " << inc.target << "\n";
+      }
+      for (const NameUse& use : model.names) {
+        out << "N " << use.line << " " << static_cast<int>(use.kind) << " "
+            << use.name << "\n";
+      }
+      for (const auto& [line, rule] : model.allows) {
+        out << "S " << line << " " << rule << "\n";
+      }
+      for (const Diagnostic& d : model.diagnostics) {
+        // Diagnostics never span lines, so the line-oriented format holds.
+        out << "D " << d.line << " " << d.rule << " " << d.message << "\n";
+      }
+    }
+    if (!out) return;
+  }
+  fs::rename(temp, target, ec);
+  if (ec) fs::remove(temp, ec);
+}
+
+}  // namespace dsml::lint::internal

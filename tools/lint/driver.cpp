@@ -1,0 +1,393 @@
+// dsml-lint driver: the hardened tree walk, the two-phase analyze pipeline
+// (phase-1 FileModels with the content-hash cache, then the cross-TU rules),
+// registry regeneration, and the CLI entry point shared by the standalone
+// dsml-lint binary and `dsml lint`.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "lint/internal.hpp"
+#include "lint/lint.hpp"
+
+namespace dsml::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+using internal::ModelCache;
+using internal::ProjectModel;
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool skipped_directory(const std::string& name) {
+  return name == "lint_fixtures" || name == "build" || name == ".git" ||
+         name == "third_party" || name == ".dsml_cache";
+}
+
+/// Expands files and directories into the sorted list of lintable files.
+/// Every filesystem probe goes through the error_code overloads and turns
+/// failures into IoError, so a permission-denied directory or a file that
+/// vanishes mid-walk reports cleanly (exit 2) instead of escaping as an
+/// unhandled std::filesystem::filesystem_error.
+std::vector<fs::path> collect_files(const std::vector<fs::path>& paths) {
+  const auto walk_error = [](const fs::path& where,
+                             const std::error_code& ec) -> IoError {
+    return IoError("dsml-lint: cannot walk '" + where.string() +
+                   "': " + ec.message());
+  };
+  std::vector<fs::path> files;
+  for (const auto& path : paths) {
+    std::error_code ec;
+    const bool is_dir = fs::is_directory(path, ec);
+    if (ec) throw walk_error(path, ec);
+    if (is_dir) {
+      fs::recursive_directory_iterator it(
+          path, fs::directory_options::none, ec);
+      if (ec) throw walk_error(path, ec);
+      const auto end = fs::end(it);
+      while (it != end) {
+        const fs::path entry = it->path();
+        const bool entry_is_dir = it->is_directory(ec);
+        if (ec) throw walk_error(entry, ec);
+        if (entry_is_dir && skipped_directory(entry.filename().string())) {
+          it.disable_recursion_pending();
+        } else {
+          const bool regular = it->is_regular_file(ec);
+          if (ec) throw walk_error(entry, ec);
+          if (regular && lintable_extension(entry)) files.push_back(entry);
+        }
+        it.increment(ec);
+        if (ec) throw walk_error(path, ec);
+      }
+    } else {
+      const bool exists = fs::exists(path, ec);
+      if (ec) throw walk_error(path, ec);
+      if (!exists) {
+        throw IoError("dsml-lint: no such file or directory '" +
+                      path.string() + "'");
+      }
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_file(const fs::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    throw IoError("dsml-lint: cannot read '" + file.string() + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw IoError("dsml-lint: read failed for '" + file.string() + "'");
+  }
+  return buffer.str();
+}
+
+std::string cache_key(const fs::path& file) {
+  return fs::absolute(file).lexically_normal().generic_string();
+}
+
+/// Phase 1 over a file list: build (or reuse from cache) one FileModel per
+/// file.
+std::vector<FileModel> build_models(const std::vector<fs::path>& files,
+                                    const AnalyzeOptions& options) {
+  ModelCache cache;
+  if (options.use_cache) {
+    cache = internal::load_model_cache(options.cache_dir);
+  }
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const fs::path& file : files) {
+    const std::string content = read_file(file);
+    const std::uint64_t hash = internal::fnv1a(content);
+    const std::string key = cache_key(file);
+    const auto hit = cache.entries.find(key);
+    FileModel model;
+    if (hit != cache.entries.end() && hit->second.content_hash == hash) {
+      model = hit->second;
+      // The cache stores the key spelling; diagnostics must carry the path
+      // exactly as this invocation named it.
+      model.path = file.generic_string();
+      for (Diagnostic& d : model.diagnostics) d.file = model.path;
+    } else {
+      model = build_file_model(file.generic_string(), content);
+      if (options.use_cache) {
+        cache.entries[key] = model;
+        cache.dirty = true;
+      }
+    }
+    models.push_back(std::move(model));
+  }
+  if (options.use_cache && cache.dirty) {
+    internal::store_model_cache(options.cache_dir, cache);
+  }
+  return models;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>* diagnostics) {
+  std::sort(diagnostics->begin(), diagnostics->end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+/// Regenerates docs/registries/{failpoints,metrics,spans}.txt from the
+/// string-literal definition sites under <root>/src and <root>/tools.
+int update_registries(const fs::path& root, const AnalyzeOptions& options,
+                      std::ostream& out) {
+  std::vector<fs::path> dirs;
+  for (const char* dir : {"src", "tools"}) {
+    std::error_code ec;
+    if (fs::is_directory(root / dir, ec) && !ec) dirs.push_back(root / dir);
+  }
+  const std::vector<FileModel> models = build_models(collect_files(dirs),
+                                                     options);
+  std::set<std::string> names[3];
+  for (const FileModel& model : models) {
+    for (const NameUse& use : model.names) {
+      names[static_cast<int>(use.kind)].insert(use.name);
+    }
+  }
+  const struct {
+    NameUse::Kind kind;
+    const char* file;
+    const char* what;
+    const char* rule;
+  } kManifests[] = {
+      {NameUse::Kind::kFailpoint, "failpoints.txt", "failpoint",
+       "unregistered-failpoint"},
+      {NameUse::Kind::kMetric, "metrics.txt", "metric",
+       "unregistered-metric"},
+      {NameUse::Kind::kSpan, "spans.txt", "trace span",
+       "unregistered-metric"},
+  };
+  const fs::path registry_dir = root / "docs" / "registries";
+  std::error_code ec;
+  fs::create_directories(registry_dir, ec);
+  if (ec) {
+    throw IoError("dsml-lint: cannot create '" + registry_dir.string() +
+                  "': " + ec.message());
+  }
+  for (const auto& manifest : kManifests) {
+    const fs::path file = registry_dir / manifest.file;
+    std::ofstream stream(file, std::ios::binary | std::ios::trunc);
+    if (!stream) {
+      throw IoError("dsml-lint: cannot write '" + file.string() + "'");
+    }
+    stream << "# Canonical " << manifest.what
+           << " names — generated by `dsml lint --update-registries`.\n"
+           << "# Every string-literal " << manifest.what
+           << " site under src/ and tools/ must appear here;\n"
+           << "# dsml-lint's " << manifest.rule
+           << " rule fails CI otherwise. Review additions:\n"
+           << "# a name that appears here by accident is a typo about to "
+              "ship.\n";
+    const auto& list = names[static_cast<int>(manifest.kind)];
+    for (const std::string& name : list) stream << name << "\n";
+    if (!stream) {
+      throw IoError("dsml-lint: write failed for '" + file.string() + "'");
+    }
+    out << "updated " << fs::path("docs/registries/" + std::string(
+                                      manifest.file)).generic_string()
+        << " (" << list.size() << " " << manifest.what << " name"
+        << (list.size() == 1 ? "" : "s") << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> analyze_paths(const std::vector<fs::path>& paths,
+                                      const AnalyzeOptions& options) {
+  std::vector<FileModel> models = build_models(collect_files(paths), options);
+  std::vector<Diagnostic> diagnostics;
+  for (const FileModel& model : models) {
+    diagnostics.insert(diagnostics.end(), model.diagnostics.begin(),
+                       model.diagnostics.end());
+  }
+  if (!options.root.empty()) {
+    const ProjectModel project =
+        internal::build_project_model(options.root, std::move(models));
+    std::vector<Diagnostic> cross = internal::run_project_rules(project);
+    diagnostics.insert(diagnostics.end(),
+                       std::make_move_iterator(cross.begin()),
+                       std::make_move_iterator(cross.end()));
+  }
+  sort_diagnostics(&diagnostics);
+  return diagnostics;
+}
+
+std::vector<Diagnostic> lint_paths(const std::vector<fs::path>& paths) {
+  AnalyzeOptions options;
+  options.use_cache = false;  // root stays empty: per-file rules only
+  return analyze_paths(paths, options);
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  std::vector<fs::path> paths;
+  std::string graph_mode;
+  fs::path sarif_file;
+  fs::path explicit_root;
+  bool update_registries_mode = false;
+  bool no_cache = false;
+  fs::path cache_dir = ".dsml_cache";
+
+  const auto value_of = [&](const std::vector<std::string>& all,
+                            std::size_t& i,
+                            const char* flag) -> std::string {
+    if (i + 1 >= all.size()) {
+      throw InvalidArgument(std::string("dsml-lint: missing value for ") +
+                            flag);
+    }
+    return all[++i];
+  };
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      if (arg == "--list-rules") {
+        for (const auto& rule : rule_catalogue()) {
+          out << rule.id << " — " << rule.summary << "\n";
+        }
+        return 0;
+      }
+      if (arg == "--help" || arg == "-h") {
+        out << "usage: dsml-lint [options] [path...]\n"
+               "lints .cpp/.hpp files; with no paths, scans src tools bench "
+               "tests examples\n"
+               "options:\n"
+               "  --list-rules          print `id — description` for every "
+               "rule\n"
+               "  --graph dot|json      dump the include graph instead of "
+               "linting\n"
+               "  --sarif FILE          also write findings as SARIF 2.1.0\n"
+               "  --update-registries   regenerate docs/registries/*.txt "
+               "from the tree\n"
+               "  --root DIR            project root (default: nearest "
+               "ancestor with tools/lint/layers.def)\n"
+               "  --no-cache            disable the .dsml_cache/ phase-1 "
+               "cache\n"
+               "  --cache-dir DIR       cache location (default "
+               ".dsml_cache)\n"
+               "suppress a finding with: // dsml-lint: allow(<rule-id>)\n";
+        return 0;
+      }
+      if (arg == "--graph") {
+        graph_mode = value_of(args, i, "--graph");
+        if (graph_mode != "dot" && graph_mode != "json") {
+          throw InvalidArgument("dsml-lint: --graph expects dot or json, "
+                                "got '" + graph_mode + "'");
+        }
+        continue;
+      }
+      if (arg == "--sarif") {
+        sarif_file = value_of(args, i, "--sarif");
+        continue;
+      }
+      if (arg == "--root") {
+        explicit_root = value_of(args, i, "--root");
+        continue;
+      }
+      if (arg == "--cache-dir") {
+        cache_dir = value_of(args, i, "--cache-dir");
+        continue;
+      }
+      if (arg == "--update-registries") {
+        update_registries_mode = true;
+        continue;
+      }
+      if (arg == "--no-cache") {
+        no_cache = true;
+        continue;
+      }
+      if (arg.rfind("--", 0) == 0) {
+        err << "dsml-lint: unknown option '" << arg << "'\n";
+        return 2;
+      }
+      paths.emplace_back(arg);
+    }
+  } catch (const InvalidArgument& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+
+  if (paths.empty() && !update_registries_mode) {
+    for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
+      std::error_code ec;
+      if (fs::is_directory(dir, ec) && !ec) paths.emplace_back(dir);
+    }
+    if (paths.empty()) {
+      err << "dsml-lint: no default source directories found; pass paths\n";
+      return 2;
+    }
+  }
+
+  try {
+    AnalyzeOptions options;
+    options.use_cache = !no_cache;
+    options.cache_dir = cache_dir;
+    options.root = explicit_root;
+    if (options.root.empty()) {
+      options.root = find_project_root(fs::current_path());
+    }
+    if (options.root.empty() && !paths.empty()) {
+      std::error_code ec;
+      const fs::path first = fs::absolute(paths.front(), ec);
+      if (!ec) options.root = find_project_root(first);
+    }
+
+    if (update_registries_mode) {
+      if (options.root.empty()) {
+        err << "dsml-lint: --update-registries needs a project root "
+               "(tools/lint/layers.def not found; pass --root)\n";
+        return 2;
+      }
+      return update_registries(options.root, options, out);
+    }
+
+    if (!graph_mode.empty()) {
+      std::vector<FileModel> models =
+          build_models(collect_files(paths), options);
+      const ProjectModel project =
+          internal::build_project_model(options.root, std::move(models));
+      if (graph_mode == "dot") {
+        internal::write_graph_dot(project, out);
+      } else {
+        internal::write_graph_json(project, out);
+      }
+      return 0;
+    }
+
+    const std::vector<Diagnostic> diagnostics =
+        analyze_paths(paths, options);
+    print_diagnostics(diagnostics, out);
+    if (!sarif_file.empty()) {
+      internal::write_sarif(sarif_file, options.root, diagnostics);
+    }
+    if (!diagnostics.empty()) {
+      err << "dsml-lint: " << diagnostics.size() << " finding(s)\n";
+      return 1;
+    }
+    return 0;
+  } catch (const IoError& e) {
+    err << e.what() << "\n";
+    return 2;
+  } catch (const fs::filesystem_error& e) {
+    // Belt and braces: anything the hardened walk missed still honours the
+    // documented exit-2 contract instead of aborting mid-scan.
+    err << "dsml-lint: filesystem error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace dsml::lint

@@ -1,0 +1,167 @@
+// Internal interfaces shared by the dsml-lint translation units. Nothing in
+// here is part of the public lint.hpp surface; tests exercise these paths
+// through lint_source/analyze_paths/run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace dsml::lint::internal {
+
+// ---------------------------------------------------------------------------
+// Source model (source_model.cpp): the file split into lines, with a
+// parallel "code view" in which comments and string/character-literal
+// contents are blanked out. Per-file rules scan the code view (so comments
+// and string contents cannot trigger them); the include/name extractors scan
+// the raw view but validate against the code view.
+// ---------------------------------------------------------------------------
+
+struct SourceModel {
+  std::vector<std::string> raw;      // the line as written
+  std::vector<std::string> code;     // comments/strings blanked
+  std::vector<std::string> comment;  // comment text only (for directives)
+};
+
+SourceModel build_source_model(const std::string& content);
+
+/// FNV-1a 64-bit over the raw bytes — keys the phase-1 cache.
+std::uint64_t fnv1a(const std::string& bytes);
+
+// ---------------------------------------------------------------------------
+// Rule tables. Each engine executes its own table; rule_catalogue() is
+// assembled from both plus the unknown-allow meta rule, so --list-rules and
+// the SARIF rule metadata can never drift from what actually runs.
+// ---------------------------------------------------------------------------
+
+struct PerFileRule {
+  const char* id;
+  const char* summary;
+  void (*check)(const std::string& file, const std::string& normalized,
+                const SourceModel& model, std::vector<Diagnostic>* out);
+};
+
+const std::vector<PerFileRule>& per_file_rules();
+
+// ---------------------------------------------------------------------------
+// Project model (project.cpp): phase-2 state.
+// ---------------------------------------------------------------------------
+
+/// The layer DAG declared in tools/lint/layers.def. `deps` holds the
+/// transitive closure of each layer's declared dependencies.
+struct LayerConfig {
+  struct Layer {
+    std::string name;
+    std::vector<std::string> dirs;  // root-relative directory prefixes
+    std::vector<std::string> deps;  // transitive closure, sorted
+  };
+  std::vector<Layer> layers;  // declaration order
+  bool loaded = false;
+
+  /// Longest-prefix directory match; empty when no layer owns the path.
+  const Layer* layer_of(const std::string& rel_path) const;
+  const Layer* find(const std::string& name) const;
+};
+
+/// Parses layers.def. Throws dsml::IoError on syntax errors, unknown
+/// dependency names, or a cyclic declaration.
+LayerConfig parse_layer_config(const std::filesystem::path& file);
+
+/// One committed observability-name manifest (docs/registries/<kind>.txt):
+/// `#` comments and blank lines skipped, one name per line.
+struct Registry {
+  bool present = false;  // absent file disables the corresponding check
+  std::set<std::string> names;
+};
+
+Registry load_registry(const std::filesystem::path& file);
+
+/// tsan ctest labels harvested from tests/CMakeLists.txt `dsml_test(...)`
+/// calls: maps root-relative test source path -> has-tsan-label.
+struct TestLabels {
+  bool present = false;
+  std::map<std::string, bool> tsan_labelled;  // "tests/test_x.cpp" -> bool
+};
+
+TestLabels parse_test_labels(const std::filesystem::path& cmake_lists);
+
+struct ProjectModel {
+  /// One resolved include edge of the scanned set.
+  struct Edge {
+    std::size_t file_index = 0;  // index into `files`/`rel`
+    std::size_t line = 0;        // 1-based line of the #include
+    std::string target_rel;      // resolved root-relative target path
+  };
+
+  std::filesystem::path root;  // empty -> cross-TU rules disabled
+  LayerConfig layers;
+  Registry failpoints;
+  Registry metrics;  // also consulted for trace spans via `spans`
+  Registry spans;
+  TestLabels test_labels;
+  std::vector<FileModel> files;  // sorted by rel path
+  std::vector<std::string> rel;  // files[i]'s root-relative path
+  std::vector<Edge> edges;       // resolved quoted includes, sorted
+};
+
+/// Loads layers.def/registries/test labels for `root` (each optional) and
+/// computes root-relative paths for the files.
+ProjectModel build_project_model(const std::filesystem::path& root,
+                                 std::vector<FileModel> files);
+
+struct ProjectRule {
+  const char* id;
+  const char* summary;
+  void (*check)(const ProjectModel& project, std::vector<Diagnostic>* out);
+};
+
+const std::vector<ProjectRule>& project_rules();
+
+/// Runs every project rule and filters the results through each file's
+/// inline allow() directives.
+std::vector<Diagnostic> run_project_rules(const ProjectModel& project);
+
+/// Resolves a quoted include target against the include roots (the
+/// includer's directory, then <root>/src, <root>/tools, <root>): returns the
+/// root-relative path of an existing file, or "" when nothing resolves.
+std::string resolve_include(const std::filesystem::path& root,
+                            const std::string& includer_rel,
+                            const std::string& target);
+
+// ---------------------------------------------------------------------------
+// Phase-1 cache (cache.cpp): content-hash keyed FileModels under
+// .dsml_cache/. The cache header carries a fingerprint of the rule
+// catalogue, so editing any rule invalidates every entry.
+// ---------------------------------------------------------------------------
+
+struct ModelCache {
+  std::map<std::string, FileModel> entries;  // key: lexically-normal abs path
+  bool dirty = false;
+};
+
+ModelCache load_model_cache(const std::filesystem::path& cache_dir);
+void store_model_cache(const std::filesystem::path& cache_dir,
+                       const ModelCache& cache);
+
+// ---------------------------------------------------------------------------
+// Output (output.cpp).
+// ---------------------------------------------------------------------------
+
+/// Writes findings as a SARIF 2.1.0 document (one run, rule metadata from
+/// rule_catalogue(), root-relative artifact URIs where possible).
+void write_sarif(const std::filesystem::path& file,
+                 const std::filesystem::path& root,
+                 const std::vector<Diagnostic>& diagnostics);
+
+/// Dumps the include graph of the scanned files. `dot` renders the
+/// layer-level DAG (aggregated edges, include counts); `json` lists every
+/// file node with its layer plus the resolved file-level edges.
+void write_graph_dot(const ProjectModel& project, std::ostream& out);
+void write_graph_json(const ProjectModel& project, std::ostream& out);
+
+}  // namespace dsml::lint::internal

@@ -1,151 +1,21 @@
+// Phase 1 of dsml-lint: the per-file rule engine and the FileModel builder.
+// Cross-TU analysis (phase 2) lives in project.cpp; the CLI in driver.cpp.
 #include "lint/lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
-#include <ostream>
 #include <regex>
 #include <sstream>
-#include <unordered_map>
+#include <tuple>
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "lint/internal.hpp"
 
 namespace dsml::lint {
 
+namespace internal {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Source model: the file split into lines, with a parallel "code view" in
-// which comments and string/character-literal contents are blanked out, plus
-// the per-line set of rules suppressed via inline allow directives.
-// ---------------------------------------------------------------------------
-
-struct SourceModel {
-  std::vector<std::string> code;     // comments/strings blanked
-  std::vector<std::string> comment;  // comment text only (for directives)
-};
-
-std::vector<std::string> split_lines(const std::string& content) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : content) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else if (c != '\r') {
-      current.push_back(c);
-    }
-  }
-  lines.push_back(current);
-  return lines;
-}
-
-/// Strips comments and literal contents. A hand-rolled scanner (rather than
-/// a regex) because block comments, raw strings, and escapes all span
-/// arbitrary spans of text and interact.
-SourceModel build_model(const std::string& content) {
-  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
-  SourceModel model;
-  State state = State::kCode;
-  std::string raw_delim;  // for kRawString: the `)delim"` terminator
-
-  for (const std::string& line : split_lines(content)) {
-    std::string code(line.size(), ' ');
-    std::string comment;
-    std::size_t i = 0;
-    while (i < line.size()) {
-      const char c = line[i];
-      switch (state) {
-        case State::kCode: {
-          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-            comment.append(line.substr(i + 2));
-            i = line.size();
-            continue;
-          }
-          if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-            state = State::kBlockComment;
-            i += 2;
-            continue;
-          }
-          if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
-              (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                              line[i - 1])) &&
-                          line[i - 1] != '_'))) {
-            const std::size_t open = line.find('(', i + 2);
-            if (open != std::string::npos) {
-              // Built with append() rather than operator+ to dodge a GCC 12
-              // -Wrestrict false positive on substr concatenation.
-              raw_delim.assign(1, ')');
-              raw_delim.append(line, i + 2, open - i - 2);
-              raw_delim.push_back('"');
-              code[i] = 'R';
-              code[i + 1] = '"';
-              state = State::kRawString;
-              i = open + 1;
-              continue;
-            }
-          }
-          if (c == '"') {
-            code[i] = '"';
-            state = State::kString;
-            ++i;
-            continue;
-          }
-          if (c == '\'') {
-            code[i] = '\'';
-            state = State::kChar;
-            ++i;
-            continue;
-          }
-          code[i] = c;
-          ++i;
-          break;
-        }
-        case State::kBlockComment: {
-          if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-            state = State::kCode;
-            i += 2;
-          } else {
-            comment.push_back(c);
-            ++i;
-          }
-          break;
-        }
-        case State::kString:
-        case State::kChar: {
-          if (c == '\\') {
-            i += 2;  // skip the escaped character
-          } else if ((state == State::kString && c == '"') ||
-                     (state == State::kChar && c == '\'')) {
-            code[i] = c;
-            state = State::kCode;
-            ++i;
-          } else {
-            ++i;
-          }
-          break;
-        }
-        case State::kRawString: {
-          const std::size_t close = line.find(raw_delim, i);
-          if (close == std::string::npos) {
-            i = line.size();
-          } else {
-            code[close + raw_delim.size() - 1] = '"';
-            state = State::kCode;
-            i = close + raw_delim.size();
-          }
-          break;
-        }
-      }
-    }
-    // A // comment or an unterminated string ends with the line.
-    if (state == State::kString || state == State::kChar) state = State::kCode;
-    model.code.push_back(std::move(code));
-    model.comment.push_back(std::move(comment));
-  }
-  return model;
-}
 
 // ---------------------------------------------------------------------------
 // Path scoping
@@ -174,44 +44,8 @@ bool is_header(const std::string& normalized) {
 }
 
 // ---------------------------------------------------------------------------
-// Suppression directives
-// ---------------------------------------------------------------------------
-
-/// Rules suppressed on each line, plus diagnostics for unknown rule names in
-/// allow() lists (a typo would otherwise disable a check silently).
-struct Suppressions {
-  std::vector<std::unordered_set<std::string>> allowed;  // per line
-  std::vector<Diagnostic> unknown;
-};
-
-Suppressions parse_suppressions(const std::string& file,
-                                const SourceModel& model) {
-  static const std::regex kAllow(R"(dsml-lint:\s*allow\(([^)]*)\))");
-  Suppressions sup;
-  sup.allowed.resize(model.comment.size());
-  for (std::size_t i = 0; i < model.comment.size(); ++i) {
-    std::smatch m;
-    if (!std::regex_search(model.comment[i], m, kAllow)) continue;
-    std::istringstream list(m[1].str());
-    std::string id;
-    while (std::getline(list, id, ',')) {
-      const auto begin = id.find_first_not_of(" \t");
-      if (begin == std::string::npos) continue;
-      const auto end = id.find_last_not_of(" \t");
-      id = id.substr(begin, end - begin + 1);
-      if (is_known_rule(id)) {
-        sup.allowed[i].insert(id);
-      } else {
-        sup.unknown.push_back({file, i + 1, "unknown-allow",
-                               "allow() names unknown rule '" + id + "'"});
-      }
-    }
-  }
-  return sup;
-}
-
-// ---------------------------------------------------------------------------
-// Individual rules. Each takes the code view and appends diagnostics.
+// Individual per-file rules. Each takes the code view and appends
+// diagnostics; suppression happens centrally in build_file_model.
 // ---------------------------------------------------------------------------
 
 void scan_lines(const std::string& file, const SourceModel& model,
@@ -266,7 +100,9 @@ void rule_iostream_in_lib(const std::string& file,
              out);
 }
 
-void rule_catch_all_swallow(const std::string& file, const SourceModel& model,
+void rule_catch_all_swallow(const std::string& file,
+                            const std::string& /*normalized*/,
+                            const SourceModel& model,
                             std::vector<Diagnostic>* out) {
   // Flatten the code view so `catch (...)` and its handler can span lines.
   std::string flat;
@@ -312,8 +148,8 @@ void rule_header_guard(const std::string& file, const std::string& normalized,
                   "header lacks #pragma once (the repo's guard convention)"});
 }
 
-void rule_naked_new(const std::string& file, const SourceModel& model,
-                    std::vector<Diagnostic>* out) {
+void rule_naked_new(const std::string& file, const std::string& /*normalized*/,
+                    const SourceModel& model, std::vector<Diagnostic>* out) {
   static const std::regex kExempt(
       R"(=\s*delete\b|\boperator\s+new\b|\boperator\s+delete\b)");
   static const std::regex kNaked(R"(\bnew\b|\bdelete\b)");
@@ -464,42 +300,167 @@ void rule_direct_model_load_in_tools(const std::string& file,
              out);
 }
 
-bool lintable_extension(const std::filesystem::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+// ---------------------------------------------------------------------------
+// Suppression directives
+// ---------------------------------------------------------------------------
+
+/// Rules suppressed on each line, plus diagnostics for unknown rule names in
+/// allow() lists (a typo would otherwise disable a check silently).
+struct Suppressions {
+  std::vector<std::pair<std::size_t, std::string>> allowed;  // line, rule
+  std::vector<Diagnostic> unknown;
+};
+
+Suppressions parse_suppressions(const std::string& file,
+                                const SourceModel& model) {
+  static const std::regex kAllow(R"(dsml-lint:\s*allow\(([^)]*)\))");
+  Suppressions sup;
+  for (std::size_t i = 0; i < model.comment.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(model.comment[i], m, kAllow)) continue;
+    std::istringstream list(m[1].str());
+    std::string id;
+    while (std::getline(list, id, ',')) {
+      const auto begin = id.find_first_not_of(" \t");
+      if (begin == std::string::npos) continue;
+      const auto end = id.find_last_not_of(" \t");
+      id = id.substr(begin, end - begin + 1);
+      if (is_known_rule(id)) {
+        sup.allowed.emplace_back(i + 1, id);
+      } else {
+        sup.unknown.push_back({file, i + 1, "unknown-allow",
+                               "allow() names unknown rule '" + id + "'"});
+      }
+    }
+  }
+  return sup;
 }
 
-bool skipped_directory(const std::string& name) {
-  return name == "lint_fixtures" || name == "build" || name == ".git" ||
-         name == "third_party" || name == ".dsml_cache";
+// ---------------------------------------------------------------------------
+// Include and observability-name extraction (phase-2 inputs). These scan the
+// raw view — the interesting part IS the string literal — but anchor on the
+// code view so commented-out calls do not register.
+// ---------------------------------------------------------------------------
+
+void extract_includes(const SourceModel& model, FileModel* out) {
+  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  for (std::size_t i = 0; i < model.raw.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(model.raw[i], m, kInclude)) {
+      // The '#' must survive in the code view (i.e. not be comment text).
+      const auto hash = model.code[i].find('#');
+      if (hash == std::string::npos) continue;
+      out->includes.push_back({i + 1, m[1].str()});
+    }
+  }
+}
+
+void extract_names(const SourceModel& model, FileModel* out) {
+  // Flatten raw and code views in lockstep so a call whose string literal
+  // sits on the next line (clang-format splits long registrations) still
+  // extracts. Only *pure literal* arguments register: a concatenated name
+  // like `metrics::counter("failpoint." + name)` is dynamic and is skipped.
+  std::string raw;
+  std::string code;
+  std::vector<std::size_t> line_of;
+  for (std::size_t i = 0; i < model.raw.size(); ++i) {
+    for (char c : model.raw[i]) {
+      raw.push_back(c);
+      line_of.push_back(i);
+    }
+    raw.push_back('\n');
+    line_of.push_back(i);
+    code.append(model.code[i]);
+    code.push_back('\n');
+  }
+
+  struct Extractor {
+    std::regex pattern;
+    NameUse::Kind kind;
+    int name_group;
+  };
+  static const std::vector<Extractor> kExtractors = {
+      {std::regex(
+           R"re(\bDSML_FAIL(?:_POISON)?\s*\(\s*"([^"]*)"\s*\))re"),
+       NameUse::Kind::kFailpoint, 1},
+      {std::regex(
+           R"re(\bmetrics\s*::\s*(?:counter|gauge|histogram)\s*\(\s*"([^"]*)"\s*\))re"),
+       NameUse::Kind::kMetric, 1},
+      {std::regex(
+           R"re(\btrace\s*::\s*Span\s+[A-Za-z_]\w*\s*\(\s*"([^"]*)"\s*[,)])re"),
+       NameUse::Kind::kSpan, 1},
+  };
+  for (const Extractor& ex : kExtractors) {
+    for (auto it = std::sregex_iterator(raw.begin(), raw.end(), ex.pattern);
+         it != std::sregex_iterator(); ++it) {
+      const auto pos = static_cast<std::size_t>(it->position());
+      // Anchor check: the call prefix must be live code, not comment text.
+      // Comparing the first few characters is enough — the code view blanks
+      // only literal contents and comments.
+      const std::size_t probe = std::min<std::size_t>(5, it->length());
+      if (code.compare(pos, probe, raw, pos, probe) != 0) continue;
+      out->names.push_back(
+          {line_of[pos] + 1, ex.kind,
+           (*it)[static_cast<std::size_t>(ex.name_group)].str()});
+    }
+  }
+  std::sort(out->names.begin(), out->names.end(),
+            [](const NameUse& a, const NameUse& b) {
+              return std::tie(a.line, a.name) < std::tie(b.line, b.name);
+            });
 }
 
 }  // namespace
 
-const std::vector<RuleInfo>& rule_catalogue() {
-  static const std::vector<RuleInfo> kRules = {
+const std::vector<PerFileRule>& per_file_rules() {
+  static const std::vector<PerFileRule> kRules = {
       {"rand-source",
        "randomness outside common/rng.hpp (std::rand, srand, mt19937, "
-       "random_device)"},
-      {"float-accum", "float in src/linalg or src/ml numeric code"},
+       "random_device)",
+       rule_rand_source},
+      {"float-accum", "float in src/linalg or src/ml numeric code",
+       rule_float_accum},
       {"iostream-in-lib",
-       "std::cout/std::cerr/printf in library code under src/"},
+       "std::cout/std::cerr/printf in library code under src/",
+       rule_iostream_in_lib},
       {"catch-all-swallow",
-       "catch (...) that neither rethrows nor captures the exception"},
-      {"header-guard", "header without #pragma once"},
-      {"naked-new", "raw new/delete expression"},
+       "catch (...) that neither rethrows nor captures the exception",
+       rule_catch_all_swallow},
+      {"header-guard", "header without #pragma once", rule_header_guard},
+      {"naked-new", "raw new/delete expression", rule_naked_new},
       {"matrix-elem-in-loop",
-       "per-element Matrix operator() access inside src/ml loops"},
+       "per-element Matrix operator() access inside src/ml loops",
+       rule_matrix_elem_in_loop},
       {"raw-clock-in-lib",
-       "raw std::chrono clock read under src/ outside the tracing layer"},
+       "raw std::chrono clock read under src/ outside the tracing layer",
+       rule_raw_clock_in_lib},
       {"raw-std-throw",
        "bare std::runtime_error/logic_error throw under src/ outside "
-       "common/error.hpp"},
+       "common/error.hpp",
+       rule_raw_std_throw},
       {"direct-model-load-in-tools",
        "direct ml model artifact load under tools/ bypassing "
-       "engine::ModelRegistry"},
-      {"unknown-allow", "allow() directive naming an unknown rule"},
+       "engine::ModelRegistry",
+       rule_direct_model_load_in_tools},
   };
+  return kRules;
+}
+
+}  // namespace internal
+
+const std::vector<RuleInfo>& rule_catalogue() {
+  static const std::vector<RuleInfo> kRules = [] {
+    std::vector<RuleInfo> rules;
+    for (const auto& r : internal::per_file_rules()) {
+      rules.push_back({r.id, r.summary});
+    }
+    for (const auto& r : internal::project_rules()) {
+      rules.push_back({r.id, r.summary});
+    }
+    rules.push_back(
+        {"unknown-allow", "allow() directive naming an unknown rule"});
+    return rules;
+  }();
   return kRules;
 }
 
@@ -509,37 +470,47 @@ bool is_known_rule(const std::string& id) {
                      [&](const RuleInfo& r) { return r.id == id; });
 }
 
-std::vector<Diagnostic> lint_source(const std::string& path,
-                                    const std::string& content) {
-  const std::string normalized = normalize(path);
-  const SourceModel model = build_model(content);
-  const Suppressions sup = parse_suppressions(path, model);
+FileModel build_file_model(const std::string& path,
+                           const std::string& content) {
+  const std::string normalized = internal::normalize(path);
+  const internal::SourceModel model = internal::build_source_model(content);
+  const internal::Suppressions sup =
+      internal::parse_suppressions(path, model);
+
+  FileModel file;
+  file.path = path;
+  file.content_hash = internal::fnv1a(content);
+  file.allows = sup.allowed;
 
   std::vector<Diagnostic> found;
-  rule_rand_source(path, normalized, model, &found);
-  rule_float_accum(path, normalized, model, &found);
-  rule_iostream_in_lib(path, normalized, model, &found);
-  rule_catch_all_swallow(path, model, &found);
-  rule_header_guard(path, normalized, model, &found);
-  rule_naked_new(path, model, &found);
-  rule_matrix_elem_in_loop(path, normalized, model, &found);
-  rule_raw_clock_in_lib(path, normalized, model, &found);
-  rule_raw_std_throw(path, normalized, model, &found);
-  rule_direct_model_load_in_tools(path, normalized, model, &found);
-
-  std::vector<Diagnostic> kept;
-  for (auto& d : found) {
-    const std::size_t idx = d.line - 1;
-    if (idx < sup.allowed.size() && sup.allowed[idx].count(d.rule)) continue;
-    kept.push_back(std::move(d));
+  for (const auto& rule : internal::per_file_rules()) {
+    rule.check(path, normalized, model, &found);
   }
-  kept.insert(kept.end(), sup.unknown.begin(), sup.unknown.end());
-  std::sort(kept.begin(), kept.end(),
+  const auto suppressed = [&](const Diagnostic& d) {
+    return std::any_of(sup.allowed.begin(), sup.allowed.end(),
+                       [&](const auto& a) {
+                         return a.first == d.line && a.second == d.rule;
+                       });
+  };
+  for (auto& d : found) {
+    if (!suppressed(d)) file.diagnostics.push_back(std::move(d));
+  }
+  file.diagnostics.insert(file.diagnostics.end(), sup.unknown.begin(),
+                          sup.unknown.end());
+  std::sort(file.diagnostics.begin(), file.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               return std::tie(a.file, a.line, a.rule) <
                      std::tie(b.file, b.line, b.rule);
             });
-  return kept;
+
+  internal::extract_includes(model, &file);
+  internal::extract_names(model, &file);
+  return file;
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& content) {
+  return build_file_model(path, content).diagnostics;
 }
 
 std::vector<Diagnostic> lint_file(const std::filesystem::path& file) {
@@ -549,95 +520,10 @@ std::vector<Diagnostic> lint_file(const std::filesystem::path& file) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  if (in.bad()) {
+    throw IoError("dsml-lint: read failed for '" + file.string() + "'");
+  }
   return lint_source(file.generic_string(), buffer.str());
-}
-
-std::vector<Diagnostic> lint_paths(
-    const std::vector<std::filesystem::path>& paths) {
-  std::vector<std::filesystem::path> files;
-  for (const auto& path : paths) {
-    if (std::filesystem::is_directory(path)) {
-      auto it = std::filesystem::recursive_directory_iterator(path);
-      for (auto end = std::filesystem::end(it); it != end; ++it) {
-        if (it->is_directory() &&
-            skipped_directory(it->path().filename().string())) {
-          it.disable_recursion_pending();
-          continue;
-        }
-        if (it->is_regular_file() && lintable_extension(it->path())) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (std::filesystem::exists(path)) {
-      files.push_back(path);
-    } else {
-      throw IoError("dsml-lint: no such file or directory '" + path.string() +
-                    "'");
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  std::vector<Diagnostic> all;
-  for (const auto& file : files) {
-    auto found = lint_file(file);
-    all.insert(all.end(), std::make_move_iterator(found.begin()),
-               std::make_move_iterator(found.end()));
-  }
-  return all;
-}
-
-void print_diagnostics(const std::vector<Diagnostic>& diagnostics,
-                       std::ostream& out) {
-  for (const auto& d : diagnostics) {
-    out << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
-        << "\n";
-  }
-}
-
-int run(const std::vector<std::string>& args, std::ostream& out,
-        std::ostream& err) {
-  std::vector<std::filesystem::path> paths;
-  for (const auto& arg : args) {
-    if (arg == "--list-rules") {
-      for (const auto& rule : rule_catalogue()) {
-        out << rule.id << "  " << rule.summary << "\n";
-      }
-      return 0;
-    }
-    if (arg == "--help" || arg == "-h") {
-      out << "usage: dsml-lint [--list-rules] [path...]\n"
-             "lints .cpp/.hpp files; with no paths, scans src tools bench "
-             "tests examples\n"
-             "suppress a finding with: // dsml-lint: allow(<rule-id>)\n";
-      return 0;
-    }
-    if (arg.rfind("--", 0) == 0) {
-      err << "dsml-lint: unknown option '" << arg << "'\n";
-      return 2;
-    }
-    paths.emplace_back(arg);
-  }
-  if (paths.empty()) {
-    for (const char* dir : {"src", "tools", "bench", "tests", "examples"}) {
-      if (std::filesystem::is_directory(dir)) paths.emplace_back(dir);
-    }
-    if (paths.empty()) {
-      err << "dsml-lint: no default source directories found; pass paths\n";
-      return 2;
-    }
-  }
-  try {
-    const std::vector<Diagnostic> diagnostics = lint_paths(paths);
-    print_diagnostics(diagnostics, out);
-    if (!diagnostics.empty()) {
-      err << "dsml-lint: " << diagnostics.size() << " finding(s)\n";
-      return 1;
-    }
-    return 0;
-  } catch (const IoError& e) {
-    err << e.what() << "\n";
-    return 2;
-  }
 }
 
 }  // namespace dsml::lint

@@ -3,23 +3,34 @@
 // Generic linters cannot enforce the invariants this codebase depends on for
 // reproducible experiments (single RNG source, double-precision accumulation,
 // no stray output from library code, no swallowed exceptions, uniform header
-// guards, no manual memory management). dsml-lint walks the source tree and
-// enforces exactly those, emitting `file:line: [rule-id] message` diagnostics
-// and a nonzero exit code for CI.
+// guards, no manual memory management, string-named observability that
+// actually fires). dsml-lint runs in two phases:
 //
-// Rules (see docs/STATIC_ANALYSIS.md for the full catalogue):
-//   rand-source        non-dsml randomness (std::rand, srand, std::mt19937,
-//                      std::random_device) outside common/rng.hpp
-//   float-accum        `float` in linalg/ml sources, where accumulation must
-//                      stay double precision
-//   iostream-in-lib    std::cout/std::cerr/printf in library code under src/
-//                      (error.hpp and table.hpp excepted)
-//   catch-all-swallow  `catch (...)` whose handler neither rethrows nor
-//                      captures std::current_exception
-//   header-guard       headers must contain `#pragma once` (no #ifndef-style
-//                      guards as the primary mechanism)
-//   naked-new          raw `new`/`delete` expressions (use containers or
-//                      make_unique/make_shared)
+//   phase 1  every file is parsed into a FileModel: its quoted #include
+//            edges, every string-literal failpoint/metric/trace-span name it
+//            defines, its inline allow() directives, a content hash, and the
+//            findings of the per-file rules (rand-source, float-accum,
+//            iostream-in-lib, catch-all-swallow, header-guard, naked-new,
+//            matrix-elem-in-loop, raw-clock-in-lib, raw-std-throw,
+//            direct-model-load-in-tools);
+//
+//   phase 2  cross-translation-unit rules run over the whole project model:
+//            layer-violation (the #include graph must respect the layer DAG
+//            declared in tools/lint/layers.def — back-edges and include
+//            cycles are findings), unregistered-failpoint and
+//            unregistered-metric (every string-literal DSML_FAIL*/metrics::*
+//            name and trace::Span literal under src/ and tools/ must appear
+//            in the committed manifests docs/registries/{failpoints,metrics,
+//            spans}.txt, regenerable with --update-registries), and
+//            missing-tsan-label (test files that include
+//            common/thread_pool.hpp or engine/session.hpp must carry the
+//            `tsan` ctest label in tests/CMakeLists.txt).
+//
+// Phase-1 models are cached by content hash under .dsml_cache/ so repeated
+// tree scans stay fast; phase 2 always re-runs over the models. Findings
+// print as `file:line: [rule-id] message` and can additionally be exported
+// as SARIF 2.1.0 (`--sarif <file>`) for CI code-scanning annotations. The
+// include graph itself is dumpable with `--graph dot|json`.
 //
 // Any line can opt out with an inline suppression comment; run with
 // --help or see docs/STATIC_ANALYSIS.md for the exact directive syntax
@@ -27,9 +38,11 @@
 // own documentation as a directive).
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dsml::lint {
@@ -48,27 +61,84 @@ struct RuleInfo {
   std::string summary;
 };
 
-/// The full rule catalogue, in diagnostic order.
+/// One quoted `#include "target"` directive.
+struct IncludeRef {
+  std::size_t line = 0;  ///< 1-based line of the directive
+  std::string target;    ///< the quoted path, verbatim
+};
+
+/// One string-literal observability-name definition site.
+struct NameUse {
+  enum class Kind { kFailpoint, kMetric, kSpan };
+  std::size_t line = 0;
+  Kind kind = Kind::kFailpoint;
+  std::string name;
+};
+
+/// Phase-1 output for one translation unit: everything phase 2 needs, plus
+/// the per-file findings. Cacheable by `content_hash`.
+struct FileModel {
+  std::string path;  ///< as given to the linter (diagnostics use this)
+  std::vector<IncludeRef> includes;
+  std::vector<NameUse> names;
+  std::vector<Diagnostic> diagnostics;  ///< per-file rules, post-suppression
+  /// Inline allow() directives as (1-based line, rule id) pairs — phase 2
+  /// consults these so cross-TU findings honour the same suppressions.
+  std::vector<std::pair<std::size_t, std::string>> allows;
+  std::uint64_t content_hash = 0;  ///< FNV-1a over the file bytes
+};
+
+/// Options for a project analysis (phase 1 + phase 2).
+struct AnalyzeOptions {
+  /// Project root: where tools/lint/layers.def, docs/registries/, and
+  /// tests/CMakeLists.txt are looked up. Empty disables the cross-TU rules
+  /// (single files outside any project still get the per-file rules).
+  std::filesystem::path root;
+  bool use_cache = true;
+  std::filesystem::path cache_dir = ".dsml_cache";
+};
+
+/// The full rule catalogue — per-file rules, cross-TU rules, and the
+/// unknown-allow meta rule — in diagnostic order. Assembled from the same
+/// tables the two rule engines execute, so --list-rules cannot drift.
 const std::vector<RuleInfo>& rule_catalogue();
 
 /// True if `id` names a known rule.
 bool is_known_rule(const std::string& id);
 
-/// Lints a single translation unit given as text. `path` determines which
+/// Phase 1 for one translation unit given as text. `path` determines which
 /// path-scoped rules apply (e.g. iostream-in-lib only fires under src/), so
 /// tests can pass synthetic paths like "src/fake.cpp".
+FileModel build_file_model(const std::string& path,
+                           const std::string& content);
+
+/// Per-file findings for one translation unit given as text (phase 1 only).
 std::vector<Diagnostic> lint_source(const std::string& path,
                                     const std::string& content);
 
-/// Reads and lints one file on disk. Throws dsml::IoError if unreadable.
+/// Reads and lints one file on disk (phase 1 only). Throws dsml::IoError if
+/// the file cannot be read.
 std::vector<Diagnostic> lint_file(const std::filesystem::path& file);
 
-/// Walks files and directories (recursively), linting every .cpp/.hpp file.
-/// Directories named `lint_fixtures`, `build`, `.git`, or `third_party` are
-/// skipped so deliberate rule-violation fixtures do not fail the tree scan.
-/// Explicitly listed files are always linted, even fixture files.
+/// Walks files and directories (recursively), linting every .cpp/.hpp file:
+/// phase 1 per file, then the cross-TU rules when `options.root` names a
+/// project. Directories named `lint_fixtures`, `build`, `.git`,
+/// `third_party`, or `.dsml_cache` are skipped so deliberate rule-violation
+/// fixtures do not fail the tree scan. Explicitly listed files are always
+/// linted, even fixture files. Unreadable files and walk failures throw
+/// dsml::IoError (the CLI maps that to exit 2).
+std::vector<Diagnostic> analyze_paths(
+    const std::vector<std::filesystem::path>& paths,
+    const AnalyzeOptions& options);
+
+/// Backwards-compatible wrapper: analyze_paths with cross-TU rules and the
+/// cache disabled.
 std::vector<Diagnostic> lint_paths(
     const std::vector<std::filesystem::path>& paths);
+
+/// Walks upward from `start` looking for a directory containing
+/// tools/lint/layers.def; returns the empty path when none is found.
+std::filesystem::path find_project_root(const std::filesystem::path& start);
 
 /// Prints diagnostics in `file:line: [rule] message` form.
 void print_diagnostics(const std::vector<Diagnostic>& diagnostics,

@@ -1,0 +1,188 @@
+// Output back-ends for dsml-lint: the classic `file:line: [rule] message`
+// stream, SARIF 2.1.0 export for CI code-scanning annotations, and the
+// include-graph dumps (`--graph dot|json`) behind the layer-DAG rule.
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "lint/internal.hpp"
+
+namespace dsml::lint {
+
+void print_diagnostics(const std::vector<Diagnostic>& diagnostics,
+                       std::ostream& out) {
+  for (const auto& d : diagnostics) {
+    out << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
+        << "\n";
+  }
+}
+
+namespace internal {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Root-relative forward-slash URI for SARIF locations; files outside the
+/// root fall back to their normalized own spelling.
+std::string artifact_uri(const fs::path& root, const std::string& file) {
+  const fs::path abs = fs::absolute(file).lexically_normal();
+  std::string uri = abs.generic_string();
+  if (!root.empty()) {
+    const std::string prefix =
+        fs::absolute(root).lexically_normal().generic_string() + "/";
+    if (uri.rfind(prefix, 0) == 0) return uri.substr(prefix.size());
+  }
+  return fs::path(file).lexically_normal().generic_string();
+}
+
+}  // namespace
+
+void write_sarif(const fs::path& file, const fs::path& root,
+                 const std::vector<Diagnostic>& diagnostics) {
+  json::Writer writer;
+  writer.begin_object();
+  writer.field("version", "2.1.0");
+  writer.field("$schema",
+               "https://json.schemastore.org/sarif-2.1.0.json");
+  writer.key("runs").begin_array().begin_object();
+  writer.key("tool").begin_object().key("driver").begin_object();
+  writer.field("name", "dsml-lint");
+  writer.field("informationUri",
+               "https://github.com/dsml/dsml/blob/main/docs/"
+               "STATIC_ANALYSIS.md");
+  writer.key("rules").begin_array();
+  for (const RuleInfo& rule : rule_catalogue()) {
+    writer.begin_object();
+    writer.field("id", rule.id);
+    writer.key("shortDescription").begin_object();
+    writer.field("text", rule.summary);
+    writer.end_object();
+    writer.end_object();
+  }
+  writer.end_array();       // rules
+  writer.end_object();      // driver
+  writer.end_object();      // tool
+  writer.key("results").begin_array();
+  for (const Diagnostic& d : diagnostics) {
+    writer.begin_object();
+    writer.field("ruleId", d.rule);
+    writer.field("level", "error");
+    writer.key("message").begin_object().field("text", d.message);
+    writer.end_object();
+    writer.key("locations").begin_array().begin_object();
+    writer.key("physicalLocation").begin_object();
+    writer.key("artifactLocation").begin_object();
+    writer.field("uri", artifact_uri(root, d.file));
+    writer.end_object();  // artifactLocation
+    writer.key("region").begin_object();
+    writer.field("startLine", static_cast<std::uint64_t>(
+                                  d.line == 0 ? 1 : d.line));
+    writer.end_object();  // region
+    writer.end_object();  // physicalLocation
+    writer.end_object();  // location
+    writer.end_array();   // locations
+    writer.end_object();  // result
+  }
+  writer.end_array();   // results
+  writer.end_object();  // run
+  writer.end_array();   // runs
+  writer.end_object();
+
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw IoError("dsml-lint: cannot write SARIF to '" + file.string() +
+                  "'");
+  }
+  out << writer.str() << "\n";
+  if (!out) {
+    throw IoError("dsml-lint: write failed for '" + file.string() + "'");
+  }
+}
+
+void write_graph_dot(const ProjectModel& project, std::ostream& out) {
+  // Layer-level view: one node per layer that owns a scanned file, one
+  // aggregated edge per observed cross-layer include (count labelled).
+  std::set<std::string> nodes;
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (std::size_t i = 0; i < project.files.size(); ++i) {
+    const auto* layer = project.layers.layer_of(project.rel[i]);
+    if (layer != nullptr) nodes.insert(layer->name);
+  }
+  for (const ProjectModel::Edge& edge : project.edges) {
+    const auto* from = project.layers.layer_of(project.rel[edge.file_index]);
+    const auto* to = project.layers.layer_of(edge.target_rel);
+    if (from == nullptr || to == nullptr || from == to) continue;
+    nodes.insert(from->name);
+    nodes.insert(to->name);
+    ++counts[{from->name, to->name}];
+  }
+  out << "digraph dsml_layers {\n"
+      << "  rankdir=BT;\n"
+      << "  node [shape=box, fontname=\"Helvetica\"];\n";
+  for (const std::string& node : nodes) {
+    out << "  \"" << node << "\";\n";
+  }
+  for (const auto& [edge, count] : counts) {
+    out << "  \"" << edge.first << "\" -> \"" << edge.second
+        << "\" [label=\"" << count << "\"];\n";
+  }
+  out << "}\n";
+}
+
+void write_graph_json(const ProjectModel& project, std::ostream& out) {
+  json::Writer writer;
+  writer.begin_object();
+  writer.key("layers").begin_array();
+  std::set<std::string> present;
+  for (const std::string& rel : project.rel) {
+    const auto* layer = project.layers.layer_of(rel);
+    if (layer != nullptr) present.insert(layer->name);
+  }
+  for (const auto& layer : project.layers.layers) {
+    if (present.count(layer.name) == 0) continue;
+    writer.begin_object();
+    writer.field("name", layer.name);
+    writer.key("dirs").begin_array();
+    for (const std::string& dir : layer.dirs) writer.value(dir);
+    writer.end_array();
+    writer.key("deps").begin_array();
+    for (const std::string& dep : layer.deps) writer.value(dep);
+    writer.end_array();
+    writer.end_object();
+  }
+  writer.end_array();  // layers
+
+  writer.key("nodes").begin_array();
+  for (std::size_t i = 0; i < project.files.size(); ++i) {
+    const auto* layer = project.layers.layer_of(project.rel[i]);
+    writer.begin_object();
+    writer.field("path", project.rel[i]);
+    writer.field("layer", layer == nullptr ? "" : layer->name);
+    writer.end_object();
+  }
+  writer.end_array();  // nodes
+
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const ProjectModel::Edge& edge : project.edges) {
+    edges.insert({project.rel[edge.file_index], edge.target_rel});
+  }
+  writer.key("edges").begin_array();
+  for (const auto& [from, to] : edges) {
+    writer.begin_object();
+    writer.field("from", from);
+    writer.field("to", to);
+    writer.end_object();
+  }
+  writer.end_array();  // edges
+  writer.end_object();
+  out << writer.str() << "\n";
+}
+
+}  // namespace internal
+}  // namespace dsml::lint

@@ -1,0 +1,142 @@
+#include "lint/internal.hpp"
+
+#include <cctype>
+
+namespace dsml::lint::internal {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// Strips comments and literal contents. A hand-rolled scanner (rather than
+/// a regex) because block comments, raw strings, and escapes all span
+/// arbitrary spans of text and interact.
+SourceModel build_source_model(const std::string& content) {
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  SourceModel model;
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the `)delim"` terminator
+
+  for (std::string& line : split_lines(content)) {
+    std::string code(line.size(), ' ');
+    std::string comment;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      switch (state) {
+        case State::kCode: {
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+            comment.append(line.substr(i + 2));
+            i = line.size();
+            continue;
+          }
+          if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+            state = State::kBlockComment;
+            i += 2;
+            continue;
+          }
+          if (c == 'R' && i + 1 < line.size() && line[i + 1] == '"' &&
+              (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                              line[i - 1])) &&
+                          line[i - 1] != '_'))) {
+            const std::size_t open = line.find('(', i + 2);
+            if (open != std::string::npos) {
+              // Built with append() rather than operator+ to dodge a GCC 12
+              // -Wrestrict false positive on substr concatenation.
+              raw_delim.assign(1, ')');
+              raw_delim.append(line, i + 2, open - i - 2);
+              raw_delim.push_back('"');
+              code[i] = 'R';
+              code[i + 1] = '"';
+              state = State::kRawString;
+              i = open + 1;
+              continue;
+            }
+          }
+          if (c == '"') {
+            code[i] = '"';
+            state = State::kString;
+            ++i;
+            continue;
+          }
+          if (c == '\'') {
+            code[i] = '\'';
+            state = State::kChar;
+            ++i;
+            continue;
+          }
+          code[i] = c;
+          ++i;
+          break;
+        }
+        case State::kBlockComment: {
+          if (c == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+            state = State::kCode;
+            i += 2;
+          } else {
+            comment.push_back(c);
+            ++i;
+          }
+          break;
+        }
+        case State::kString:
+        case State::kChar: {
+          if (c == '\\') {
+            i += 2;  // skip the escaped character
+          } else if ((state == State::kString && c == '"') ||
+                     (state == State::kChar && c == '\'')) {
+            code[i] = c;
+            state = State::kCode;
+            ++i;
+          } else {
+            ++i;
+          }
+          break;
+        }
+        case State::kRawString: {
+          const std::size_t close = line.find(raw_delim, i);
+          if (close == std::string::npos) {
+            i = line.size();
+          } else {
+            code[close + raw_delim.size() - 1] = '"';
+            state = State::kCode;
+            i = close + raw_delim.size();
+          }
+          break;
+        }
+      }
+    }
+    // A // comment or an unterminated string ends with the line.
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    model.raw.push_back(std::move(line));
+    model.code.push_back(std::move(code));
+    model.comment.push_back(std::move(comment));
+  }
+  return model;
+}
+
+}  // namespace dsml::lint::internal
