@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/metrics.hpp"
+#include "linalg/backend.hpp"
+#include "linalg/simd/simd_kernels.hpp"
 
 namespace dsml::linalg {
 
@@ -33,7 +35,9 @@ namespace {
 // innermost over a contiguous C row, so additions into c[i][j] happen in
 // ascending k order — identical to the naive reference. The aik == 0.0 skip
 // mirrors Matrix::multiply's historical sparsity shortcut (weight masks zero
-// whole entries), and keeps 0 * Inf / 0 * NaN behavior unchanged.
+// whole entries), and keeps 0 * Inf / 0 * NaN behavior unchanged. The simd
+// backend's row blocks reproduce this loop with vector mul+add across the
+// independent j elements (see simd/simd_kernels.hpp for the contract).
 void gemm_row_block(const double* a, std::size_t lda, const double* b,
                     std::size_t ldb, double* c, std::size_t ldc,
                     std::size_t i0, std::size_t i1, std::size_t k0,
@@ -52,6 +56,121 @@ void gemm_row_block(const double* a, std::size_t lda, const double* b,
   }
 }
 
+using RowBlockFn = void (*)(const double*, std::size_t, const double*,
+                            std::size_t, double*, std::size_t, std::size_t,
+                            std::size_t, std::size_t, std::size_t,
+                            std::size_t);
+
+// The cache-blocking driver shared by the blocked and simd backends; only
+// the row-block body differs. Depth-splitting pays only when B is too big to
+// sit in L2 across a row block: it then bounds the B working set so a tile
+// loaded once is reused by all kRowBlock rows. When B already fits, the
+// split would just re-walk each C tile per depth slice, so run the full
+// depth in one pass. Either way additions into any c[i][j] happen in the
+// same ascending-k order, so the result is bit-identical to the reference.
+void gemm_tiled(RowBlockFn row_block, const double* a, std::size_t lda,
+                const double* b, std::size_t ldb, double* c, std::size_t ldc,
+                std::size_t m, std::size_t k, std::size_t n) {
+  const std::size_t depth_block =
+      k * n * sizeof(double) <= kCacheResidentBytes ? k : kDepthBlock;
+  for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
+    const std::size_t i1 = std::min(i0 + kRowBlock, m);
+    for (std::size_t k0 = 0; k0 < k; k0 += depth_block) {
+      const std::size_t k1 = std::min(k0 + depth_block, k);
+      row_block(a, lda, b, ldb, c, ldc, i0, i1, k0, k1, n);
+    }
+  }
+}
+
+void gemv_scalar(const double* a, std::size_t lda, std::size_t m,
+                 std::size_t n, const double* x, double* y) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * lda;
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+}
+
+void gemv_columns_scalar(const double* a, std::size_t lda, std::size_t m,
+                         const std::size_t* cols, std::size_t n_cols,
+                         const double* beta, double* y) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * lda;
+    double s = 0.0;
+    for (std::size_t k = 0; k < n_cols; ++k) s += arow[cols[k]] * beta[k];
+    y[i] = s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backend dispatch. One table per Backend; all double entries are
+// bit-identical, so switching backends can never change a result — only how
+// fast it arrives. The simd table aliases the blocked entries when no vector
+// TU matches this machine (simd_variant() == "none").
+// ---------------------------------------------------------------------------
+
+struct KernelTable {
+  void (*gemm_accumulate)(const double*, std::size_t, const double*,
+                          std::size_t, double*, std::size_t, std::size_t,
+                          std::size_t, std::size_t);
+  void (*gemv)(const double*, std::size_t, std::size_t, std::size_t,
+               const double*, double*);
+  void (*gemv_columns)(const double*, std::size_t, std::size_t,
+                       const std::size_t*, std::size_t, const double*,
+                       double*);
+};
+
+void gemm_naive(const double* a, std::size_t lda, const double* b,
+                std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
+                std::size_t k, std::size_t n) {
+  gemm_row_block(a, lda, b, ldb, c, ldc, 0, m, 0, k, n);
+}
+
+void gemm_blocked(const double* a, std::size_t lda, const double* b,
+                  std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
+                  std::size_t k, std::size_t n) {
+  gemm_tiled(gemm_row_block, a, lda, b, ldb, c, ldc, m, k, n);
+}
+
+void gemm_simd(const double* a, std::size_t lda, const double* b,
+               std::size_t ldb, double* c, std::size_t ldc, std::size_t m,
+               std::size_t k, std::size_t n) {
+  gemm_tiled(detail::selected_simd_ops()->gemm_row_block, a, lda, b, ldb, c,
+             ldc, m, k, n);
+}
+
+void gemv_simd(const double* a, std::size_t lda, std::size_t m, std::size_t n,
+               const double* x, double* y) {
+  detail::selected_simd_ops()->gemv(a, lda, m, n, x, y);
+}
+
+void gemv_columns_simd(const double* a, std::size_t lda, std::size_t m,
+                       const std::size_t* cols, std::size_t n_cols,
+                       const double* beta, double* y) {
+  detail::selected_simd_ops()->gemv_columns(a, lda, m, cols, n_cols, beta, y);
+}
+
+constexpr KernelTable kNaiveTable = {gemm_naive, gemv_scalar,
+                                     gemv_columns_scalar};
+constexpr KernelTable kBlockedTable = {gemm_blocked, gemv_scalar,
+                                       gemv_columns_scalar};
+constexpr KernelTable kSimdTable = {gemm_simd, gemv_simd, gemv_columns_simd};
+
+const KernelTable& table_for(Backend backend) {
+  switch (backend) {
+    case Backend::kNaive:
+      return kNaiveTable;
+    case Backend::kBlocked:
+      return kBlockedTable;
+    case Backend::kSimd:
+      break;
+  }
+  return detail::selected_simd_ops() != nullptr ? kSimdTable : kBlockedTable;
+}
+
+const KernelTable& active_table() { return table_for(active_backend()); }
+
 inline double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
 
 }  // namespace
@@ -61,21 +180,7 @@ void gemm_accumulate(const double* a, std::size_t lda, const double* b,
                      std::size_t m, std::size_t k, std::size_t n) {
   static metrics::Counter& calls = metrics::counter("linalg.gemm_calls");
   calls.add();
-  // Depth-splitting pays only when B is too big to sit in L2 across a row
-  // block: it then bounds the B working set so a tile loaded once is reused
-  // by all kRowBlock rows. When B already fits, the split would just re-walk
-  // each C tile per depth slice, so run the full depth in one pass. Either
-  // way additions into any c[i][j] happen in the same ascending-k order, so
-  // the result is bit-identical to the reference.
-  const std::size_t depth_block =
-      k * n * sizeof(double) <= kCacheResidentBytes ? k : kDepthBlock;
-  for (std::size_t i0 = 0; i0 < m; i0 += kRowBlock) {
-    const std::size_t i1 = std::min(i0 + kRowBlock, m);
-    for (std::size_t k0 = 0; k0 < k; k0 += depth_block) {
-      const std::size_t k1 = std::min(k0 + depth_block, k);
-      gemm_row_block(a, lda, b, ldb, c, ldc, i0, i1, k0, k1, n);
-    }
-  }
+  active_table().gemm_accumulate(a, lda, b, ldb, c, ldc, m, k, n);
 }
 
 void gemm_accumulate_reference(const double* a, std::size_t lda,
@@ -104,23 +209,13 @@ void transpose(const double* a, std::size_t lda, std::size_t rows,
 
 void gemv(const double* a, std::size_t lda, std::size_t m, std::size_t n,
           const double* x, double* y) {
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a + i * lda;
-    double s = 0.0;
-    for (std::size_t j = 0; j < n; ++j) s += arow[j] * x[j];
-    y[i] = s;
-  }
+  active_table().gemv(a, lda, m, n, x, y);
 }
 
 void gemv_columns(const double* a, std::size_t lda, std::size_t m,
                   const std::size_t* cols, std::size_t n_cols,
                   const double* beta, double* y) {
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a + i * lda;
-    double s = 0.0;
-    for (std::size_t k = 0; k < n_cols; ++k) s += arow[cols[k]] * beta[k];
-    y[i] = s;
-  }
+  active_table().gemv_columns(a, lda, m, cols, n_cols, beta, y);
 }
 
 void affine_forward(const double* x, std::size_t ldx, std::size_t rows,
@@ -133,7 +228,9 @@ void affine_forward(const double* x, std::size_t ldx, std::size_t rows,
   transpose(w, fan_in, fan_out, fan_in, wt.data(), fan_out);
   // Seed each output row with the bias so the per-element addition sequence
   // is bias first, then x[0]*w[.,0], x[1]*w[.,1], ... — exactly the scalar
-  // `z = b[i]; z += w[i][j] * in[j]` loop.
+  // `z = b[i]; z += w[i][j] * in[j]` loop. The GEMM dispatches through the
+  // active backend, so affine_forward inherits naive/blocked/simd behavior
+  // (and their shared bit pattern) without a table entry of its own.
   for (std::size_t r = 0; r < rows; ++r) {
     std::copy_n(bias, fan_out, out + r * ldo);
   }

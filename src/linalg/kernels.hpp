@@ -16,6 +16,13 @@
 // loop-carried reduction), which lets the compiler autovectorize them at -O2
 // without -ffast-math; the per-row dot kernels (gemv/gemv_columns) keep the
 // serial reduction order on purpose so they stay bit-compatible with dot().
+//
+// Since the backend-dispatch layer (backend.hpp) every public kernel here
+// routes through the active backend's table (naive | blocked | simd). All
+// backends are bit-identical for double, so callers never observe a
+// numerical difference — only throughput changes. gemm_accumulate_reference
+// stays a direct call to the naive loop: it is the golden baseline the
+// equivalence gates compare whichever backend is active against.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,103 @@
+#include "linalg/kernels_f32.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/backend.hpp"
+#include "linalg/simd/simd_kernels.hpp"
+
+namespace dsml::linalg::kernels::f32 {
+
+namespace {
+
+// Scalar fallbacks, shared by the naive and blocked backends. The f32
+// operands here are small (a session batch by a weight matrix), so there is
+// no cache-blocking tier: one full-depth pass, like the reference GEMM.
+void gemm_row_block_scalar(const float* a, std::size_t lda, const float* b,
+                           std::size_t ldb, float* c, std::size_t ldc,
+                           std::size_t i0, std::size_t i1, std::size_t k0,
+                           std::size_t k1, std::size_t n) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::size_t k = k0; k < k1; ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b + k * ldb;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void axpy_scalar(std::size_t n, float a, const float* x, float* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+struct F32Table {
+  void (*gemm_row_block)(const float*, std::size_t, const float*, std::size_t,
+                         float*, std::size_t, std::size_t, std::size_t,
+                         std::size_t, std::size_t, std::size_t);
+  void (*axpy)(std::size_t, float, const float*, float*);
+};
+
+constexpr F32Table kScalarTable = {gemm_row_block_scalar, axpy_scalar};
+
+const F32Table& active_table() {
+  if (active_backend() == Backend::kSimd) {
+    if (const simd::SimdOps* ops = detail::selected_simd_ops()) {
+      static const F32Table simd_table = {ops->gemm_row_block_f32,
+                                          ops->axpy_f32};
+      return simd_table;
+    }
+  }
+  return kScalarTable;
+}
+
+inline float sigmoid(float z) { return 1.0f / (1.0f + std::exp(-z)); }
+
+}  // namespace
+
+void gemm_accumulate(const float* a, std::size_t lda, const float* b,
+                     std::size_t ldb, float* c, std::size_t ldc,
+                     std::size_t m, std::size_t k, std::size_t n) {
+  active_table().gemm_row_block(a, lda, b, ldb, c, ldc, 0, m, 0, k, n);
+}
+
+void transpose(const float* a, std::size_t lda, std::size_t rows,
+               std::size_t cols, float* out, std::size_t ldo) {
+  constexpr std::size_t kTile = 32;
+  for (std::size_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::size_t r1 = std::min(r0 + kTile, rows);
+    for (std::size_t c0 = 0; c0 < cols; c0 += kTile) {
+      const std::size_t c1 = std::min(c0 + kTile, cols);
+      for (std::size_t r = r0; r < r1; ++r) {
+        const float* arow = a + r * lda;
+        for (std::size_t c = c0; c < c1; ++c) {
+          out[c * ldo + r] = arow[c];
+        }
+      }
+    }
+  }
+}
+
+void axpy(std::size_t n, float a, const float* x, float* y) {
+  active_table().axpy(n, a, x, y);
+}
+
+void affine_forward(const float* x, std::size_t ldx, std::size_t rows,
+                    std::size_t fan_in, const float* wt, const float* bias,
+                    std::size_t fan_out, bool sigmoid_activation, float* out,
+                    std::size_t ldo) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::copy_n(bias, fan_out, out + r * ldo);
+  }
+  gemm_accumulate(x, ldx, wt, fan_out, out, ldo, rows, fan_in, fan_out);
+  if (sigmoid_activation) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      float* orow = out + r * ldo;
+      for (std::size_t j = 0; j < fan_out; ++j) orow[j] = sigmoid(orow[j]);
+    }
+  }
+}
+
+}  // namespace dsml::linalg::kernels::f32

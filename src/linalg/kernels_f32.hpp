@@ -1,0 +1,44 @@
+// Float32 kernels for the opt-in f32 inference path.
+//
+// These back engine::InferenceSession's f32 mode (ml/f32.hpp): model weights
+// are converted to float once at registry-load time and batches stream
+// through these kernels. Unlike everything else in linalg, results are NOT
+// bit-pinned — the contract is an error budget (predictions within 1e-5
+// relative of the double path, enforced by `dsml bench` and the
+// test_backend property tests), which is why FMA is allowed in the vector
+// variants. double remains the default everywhere.
+//
+// Dispatch follows linalg::active_backend() exactly like kernels.hpp: naive
+// and blocked share the scalar loops here, simd uses the vector TU picked by
+// cpuid.
+#pragma once
+
+#include <cstddef>
+
+namespace dsml::linalg::kernels::f32 {
+
+/// C(m x n) += A(m x k) * B(k x n), row-major float, leading dimensions as
+/// in kernels::gemm_accumulate. C must be initialized by the caller.
+void gemm_accumulate(const float* a, std::size_t lda, const float* b,
+                     std::size_t ldb, float* c, std::size_t ldc,
+                     std::size_t m, std::size_t k, std::size_t n);
+
+/// out(cols x rows) = transpose of a(rows x cols).
+void transpose(const float* a, std::size_t lda, std::size_t rows,
+               std::size_t cols, float* out, std::size_t ldo);
+
+/// y[i] += a * x[i] for i in [0, n) — the column-accumulate primitive the
+/// f32 linear-regression predictor is built from.
+void axpy(std::size_t n, float a, const float* x, float* y);
+
+/// One batched dense layer on pre-transposed weights:
+/// out(rows x fan_out) = act(x(rows x fan_in) * wt + bias), where wt is
+/// fan_in x fan_out row-major (i.e. already transposed, as stored in the f32
+/// weight snapshot) and act is the logistic sigmoid when
+/// `sigmoid_activation`, identity otherwise.
+void affine_forward(const float* x, std::size_t ldx, std::size_t rows,
+                    std::size_t fan_in, const float* wt, const float* bias,
+                    std::size_t fan_out, bool sigmoid_activation, float* out,
+                    std::size_t ldo);
+
+}  // namespace dsml::linalg::kernels::f32

@@ -1,0 +1,245 @@
+#include "ml/f32.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "data/encoder.hpp"
+#include "linalg/kernels_f32.hpp"
+#include "ml/linreg.hpp"
+#include "ml/mlp.hpp"
+#include "ml/nn_models.hpp"
+
+namespace dsml::ml {
+
+namespace {
+
+namespace f32k = linalg::kernels::f32;
+
+/// How one encoded feature is produced from its source column, with the
+/// min-max scaling folded to value = raw * mul + add (the encoder's
+/// scale01((x - lo) / (hi - lo)) becomes mul = 1/(hi-lo), add = -lo*mul;
+/// a degenerate range becomes the constant 0.5 the encoder emits).
+struct EncodeSpec {
+  std::size_t source_column = 0;
+  int one_hot_level = -1;  ///< >= 0: value = (code == level), no scaling
+  float mul = 1.0f;
+  float add = 0.0f;
+  bool constant = false;   ///< degenerate/disabled: value is always `add`
+};
+
+EncodeSpec make_spec(const data::EncodedFeature& f, bool scale_inputs) {
+  EncodeSpec spec;
+  spec.source_column = f.source_column;
+  spec.one_hot_level = f.one_hot_level;
+  if (f.one_hot_level >= 0 || !scale_inputs) return spec;
+  if (f.scale_max <= f.scale_min) {
+    spec.constant = true;
+    spec.add = 0.5f;
+    return spec;
+  }
+  const double inv = 1.0 / (f.scale_max - f.scale_min);
+  spec.mul = static_cast<float>(inv);
+  spec.add = static_cast<float>(-f.scale_min * inv);
+  return spec;
+}
+
+/// Fill `out` with one encoded feature column over all rows of `dataset`.
+void fill_column(const data::Dataset& dataset, const EncodeSpec& spec,
+                 float* out, std::size_t stride) {
+  const std::size_t n = dataset.n_rows();
+  if (spec.constant) {
+    for (std::size_t r = 0; r < n; ++r) out[r * stride] = spec.add;
+    return;
+  }
+  DSML_REQUIRE(spec.source_column < dataset.n_features(),
+               "F32Predictor: dataset schema mismatch");
+  const data::Column& col = dataset.feature(spec.source_column);
+  if (spec.one_hot_level >= 0) {
+    const auto level = static_cast<std::size_t>(spec.one_hot_level);
+    for (std::size_t r = 0; r < n; ++r) {
+      out[r * stride] = col.code_at(r) == level ? 1.0f : 0.0f;
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    out[r * stride] =
+        static_cast<float>(col.numeric_at(r)) * spec.mul + spec.add;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linear regression: y = base + sum_k w_k * raw_k, with the encoder scaling
+// and the intercept/constant-feature contributions folded into base/w_k at
+// snapshot time. Only the *selected* columns are ever encoded — the double
+// path encodes the full design matrix and then selects, so this snapshot
+// does strictly less work per row.
+// ---------------------------------------------------------------------------
+
+class F32LinReg final : public F32Predictor {
+ public:
+  explicit F32LinReg(const LinearRegression& model)
+      : encoder_(model.encoder()) {
+    const OlsFit& fit = model.ols();
+    const auto& features = encoder_.features();
+    const bool scale = encoder_.options().scale_inputs;
+    const std::size_t offset = encoder_.options().add_intercept ? 1 : 0;
+    double base = 0.0;
+    for (std::size_t k = 0; k < fit.columns.size(); ++k) {
+      const std::size_t c = fit.columns[k];
+      const double beta = fit.beta[k];
+      if (c < offset) {  // intercept column
+        base += beta;
+        continue;
+      }
+      const EncodeSpec spec = make_spec(features[c - offset], scale);
+      if (spec.constant) {
+        base += beta * static_cast<double>(spec.add);
+        continue;
+      }
+      Term term;
+      term.spec = spec;
+      if (spec.one_hot_level >= 0) {
+        term.weight = static_cast<float>(beta);
+      } else {
+        // Fold the scale into the weight: beta * (raw*mul + add) =
+        // (beta*mul) * raw + beta*add.
+        term.weight = static_cast<float>(beta * static_cast<double>(spec.mul));
+        base += beta * static_cast<double>(spec.add);
+        term.spec.mul = 1.0f;
+        term.spec.add = 0.0f;
+      }
+      terms_.push_back(term);
+    }
+    base_ = static_cast<float>(base);
+  }
+
+  std::vector<double> predict(const data::Dataset& dataset) const override {
+    const std::size_t n = dataset.n_rows();
+    std::vector<float> acc(n, base_);
+    std::vector<float> column(n);
+    for (const Term& term : terms_) {
+      fill_column(dataset, term.spec, column.data(), 1);
+      f32k::axpy(n, term.weight, column.data(), acc.data());
+    }
+    std::vector<double> out(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      out[r] = encoder_.decode_target(static_cast<double>(acc[r]));
+    }
+    return out;
+  }
+
+ private:
+  struct Term {
+    EncodeSpec spec;
+    float weight = 0.0f;
+  };
+
+  data::Encoder encoder_;  // retained for decode_target
+  std::vector<Term> terms_;
+  float base_ = 0.0f;
+};
+
+// ---------------------------------------------------------------------------
+// Neural network: encode the batch into a row-major f32 matrix, then run the
+// layer stack through the f32 affine kernel on weights transposed once here.
+// Disabled inputs (the prune regimes) encode as 0.0f, mirroring the double
+// path's NaN-safe masking.
+// ---------------------------------------------------------------------------
+
+class F32Mlp final : public F32Predictor {
+ public:
+  explicit F32Mlp(const NeuralRegressor& model) : encoder_(model.encoder()) {
+    const Mlp& net = model.network();
+    const auto& features = encoder_.features();
+    const bool scale = encoder_.options().scale_inputs;
+    DSML_REQUIRE(features.size() == net.n_inputs(),
+                 "F32Mlp: encoder/network width mismatch");
+    specs_.reserve(features.size());
+    for (std::size_t j = 0; j < features.size(); ++j) {
+      EncodeSpec spec = make_spec(features[j], scale);
+      if (!net.input_enabled(j)) {
+        spec.constant = true;
+        spec.add = 0.0f;
+      }
+      specs_.push_back(spec);
+    }
+    layers_.reserve(net.layer_count());
+    for (std::size_t l = 0; l < net.layer_count(); ++l) {
+      const Mlp::LayerView view = net.layer_view(l);
+      LayerF32 layer;
+      layer.fan_in = view.weights->cols();
+      layer.fan_out = view.weights->rows();
+      layer.sigmoid = !view.output;
+      // Store wT (fan_in x fan_out) so the forward GEMM walks contiguous
+      // spans; one conversion+transpose here, none per batch.
+      layer.wt.resize(layer.fan_in * layer.fan_out);
+      for (std::size_t o = 0; o < layer.fan_out; ++o) {
+        for (std::size_t i = 0; i < layer.fan_in; ++i) {
+          layer.wt[i * layer.fan_out + o] =
+              static_cast<float>((*view.weights)(o, i));
+        }
+      }
+      layer.bias.resize(view.bias.size());
+      for (std::size_t b = 0; b < layer.bias.size(); ++b) {
+        layer.bias[b] = static_cast<float>(view.bias[b]);
+      }
+      layers_.push_back(std::move(layer));
+    }
+  }
+
+  std::vector<double> predict(const data::Dataset& dataset) const override {
+    const std::size_t n = dataset.n_rows();
+    const std::size_t n_inputs = specs_.size();
+    std::vector<float> cur(n * n_inputs);
+    for (std::size_t j = 0; j < n_inputs; ++j) {
+      fill_column(dataset, specs_[j], cur.data() + j, n_inputs);
+    }
+    std::size_t fan_in = n_inputs;
+    std::vector<float> next;
+    for (const LayerF32& layer : layers_) {
+      next.resize(n * layer.fan_out);
+      f32k::affine_forward(cur.data(), fan_in, n, layer.fan_in,
+                           layer.wt.data(), layer.bias.data(), layer.fan_out,
+                           layer.sigmoid, next.data(), layer.fan_out);
+      cur.swap(next);
+      fan_in = layer.fan_out;
+    }
+    // The output layer is one linear unit: column 0 of the final block.
+    std::vector<double> out(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      out[r] = encoder_.decode_target(static_cast<double>(cur[r * fan_in]));
+    }
+    return out;
+  }
+
+ private:
+  struct LayerF32 {
+    std::size_t fan_in = 0;
+    std::size_t fan_out = 0;
+    bool sigmoid = true;
+    std::vector<float> wt;    // fan_in x fan_out (pre-transposed)
+    std::vector<float> bias;  // fan_out
+  };
+
+  data::Encoder encoder_;
+  std::vector<EncodeSpec> specs_;
+  std::vector<LayerF32> layers_;
+};
+
+}  // namespace
+
+std::unique_ptr<F32Predictor> make_f32_predictor(const Regressor& model) {
+  if (const auto* lr = dynamic_cast<const LinearRegression*>(&model)) {
+    DSML_REQUIRE(lr->fitted(), "make_f32_predictor: model not fitted");
+    return std::make_unique<F32LinReg>(*lr);
+  }
+  if (const auto* nn = dynamic_cast<const NeuralRegressor*>(&model)) {
+    DSML_REQUIRE(nn->fitted(), "make_f32_predictor: model not fitted");
+    return std::make_unique<F32Mlp>(*nn);
+  }
+  return nullptr;
+}
+
+}  // namespace dsml::ml

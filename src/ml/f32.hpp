@@ -1,0 +1,42 @@
+// Float32 inference snapshots — the opt-in serving fast path.
+//
+// A fitted Regressor stays double everywhere; make_f32_predictor() builds a
+// one-time float32 snapshot of its weights and encoding (folded scaling,
+// pre-transposed layers) that batches rows through the f32 SIMD kernels in
+// linalg/kernels_f32.hpp. engine::ModelRegistry builds the snapshot at
+// registration; engine::InferenceSession routes batches through it only when
+// SessionOptions::use_f32 is set.
+//
+// Contract: predictions stay within a 1e-5 relative error budget of the
+// double path (enforced by `dsml bench`'s f32_session section and the
+// test_backend property tests); they are NOT bit-identical and never replace
+// the double path by default. Snapshots are immutable after construction and
+// safe to share across threads.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dsml::ml {
+
+class Regressor;
+
+/// An immutable float32 inference snapshot of a fitted model.
+class F32Predictor {
+ public:
+  virtual ~F32Predictor() = default;
+
+  /// Predict the target for every row; same dataset contract as
+  /// Regressor::predict. Output is double (converted once per row at the
+  /// end of the f32 pipeline).
+  virtual std::vector<double> predict(const data::Dataset& dataset) const = 0;
+};
+
+/// Builds the f32 snapshot for a fitted model, or nullptr when the model's
+/// type has no f32 path (the session then falls back to double). Throws
+/// InvalidArgument on an unfitted model.
+std::unique_ptr<F32Predictor> make_f32_predictor(const Regressor& model);
+
+}  // namespace dsml::ml

@@ -1,0 +1,16 @@
+// Fixture: intrinsics-outside-simd violations (vector intrinsics in ml code
+// instead of behind the src/linalg/simd dispatch layer), plus an
+// allow-directive escape on the prefetch line.
+#include <immintrin.h>
+
+double sum4(const double* values) {
+  __m256d v = _mm256_loadu_pd(values);
+  v = _mm256_add_pd(v, v);
+  double out[4];
+  _mm256_storeu_pd(out, v);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+void warm(const char* p) {
+  _mm_prefetch(p, 1);  // dsml-lint: allow(intrinsics-outside-simd)
+}

@@ -1,0 +1,8 @@
+// Fixture: float-accum carve-out — an f32-named source under src/ml is the
+// opt-in float32 serving path and may use float freely (its accuracy is
+// covered by the 1e-5 error budget, not the double bit-identity contract).
+float accumulate_f32(const float* values, int n) {
+  float total = 0.0f;
+  for (int i = 0; i < n; ++i) total += values[i];
+  return total;
+}

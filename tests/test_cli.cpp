@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <sstream>
 
@@ -10,6 +11,7 @@
 #include "data/column.hpp"
 #include "engine/design_space.hpp"
 #include "engine/schema.hpp"
+#include "linalg/backend.hpp"
 
 namespace dsml::cli {
 namespace {
@@ -287,6 +289,37 @@ TEST_F(CliTest, UsageMentionsFailpointsFlag) {
   EXPECT_NE(result.out.find("--failpoints"), std::string::npos);
 }
 
+TEST_F(CliTest, BackendFlagPinsEveryKernelBackend) {
+  const linalg::Backend before = linalg::active_backend();
+  for (const char* name : {"naive", "blocked", "simd"}) {
+    const auto result = run_cli({"--backend", name, "list"});
+    EXPECT_EQ(result.exit_code, 0) << name << ": " << result.err;
+    EXPECT_NE(result.out.find("applications:"), std::string::npos) << name;
+  }
+  // The override is scoped to the command: in-process callers see the
+  // previous selection again once run() returns.
+  EXPECT_EQ(linalg::active_backend(), before);
+}
+
+TEST_F(CliTest, BackendFlagRejectsUnknownName) {
+  const auto result = run_cli({"--backend", "warp-drive", "list"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("backend"), std::string::npos);
+}
+
+TEST_F(CliTest, BackendFlagWithoutNameFails) {
+  const auto result = run_cli({"list", "--backend"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--backend"), std::string::npos);
+}
+
+TEST_F(CliTest, UsageMentionsBackendFlag) {
+  const auto result = run_cli({"help"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("--backend"), std::string::npos);
+  EXPECT_NE(result.out.find("--f32"), std::string::npos);
+}
+
 TEST_F(CliTest, StatsDumpsMetricsRegistry) {
   const auto result = run_cli({"stats", "list"});
   EXPECT_EQ(result.exit_code, 0) << result.err;
@@ -397,6 +430,43 @@ TEST_F(CliTest, ServeAnswersRequestsAndSurvivesBadLines) {
   EXPECT_NE(unknown.at("error").as_string().find("nope"), std::string::npos);
 
   EXPECT_FALSE(std::getline(lines, line));  // exactly one line per request
+  std::filesystem::remove(model_path);
+}
+
+TEST_F(CliTest, ServeF32FlagServesWithinErrorBudget) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string model_path =
+      (tmp / "dsml_cli_serve_f32_model.dsml").string();
+  auto train_args = tiny_sweep_args();
+  train_args.insert(train_args.begin(),
+                    {"train", "--app", "applu", "--rate", "0.02", "--model",
+                     "LR-B", "--out", model_path});
+  ASSERT_EQ(run_cli(train_args).exit_code, 0);
+
+  const std::string input =
+      "{\"rows\": [" + design_row_json(0) + "," + design_row_json(7) + "]}\n";
+  const auto via_double =
+      run_cli({"serve", "--models", "applu=" + model_path}, input);
+  const auto via_f32 =
+      run_cli({"serve", "--f32", "--models", "applu=" + model_path}, input);
+  ASSERT_EQ(via_double.exit_code, 0) << via_double.err;
+  ASSERT_EQ(via_f32.exit_code, 0) << via_f32.err;
+  EXPECT_NE(via_f32.err.find("[f32]"), std::string::npos);
+  EXPECT_EQ(via_double.err.find("[f32]"), std::string::npos);
+
+  const json::Value double_response =
+      json::Value::parse(via_double.out.substr(0, via_double.out.find('\n')));
+  const json::Value f32_response =
+      json::Value::parse(via_f32.out.substr(0, via_f32.out.find('\n')));
+  const auto& d = double_response.at("predictions").items();
+  const auto& f = f32_response.at("predictions").items();
+  ASSERT_EQ(d.size(), f.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double dv = d[i].as_number();
+    const double fv = f[i].as_number();
+    EXPECT_LE(std::abs(fv - dv), 1e-5 * std::max(std::abs(dv), 1e-12))
+        << "row " << i;
+  }
   std::filesystem::remove(model_path);
 }
 

@@ -48,6 +48,41 @@ TEST(LintFixtures, FloatAccumScopedToMlAndLinalg) {
   EXPECT_EQ(run_paths({kFixtures + "/src/ml/bad_float.cpp"}, nullptr), 1);
 }
 
+TEST(LintFixtures, FloatAccumExemptsF32NamedSources) {
+  // The float32 serving path is float by contract; f32-named sources under
+  // src/ml are carved out of float-accum entirely.
+  const auto d = lint_file(kFixtures + "/src/ml/f32_clean.cpp");
+  EXPECT_FALSE(has_rule(d, "float-accum"));
+  EXPECT_EQ(run_paths({kFixtures + "/src/ml/f32_clean.cpp"}, nullptr), 0);
+}
+
+TEST(LintFixtures, IntrinsicsOutsideSimd) {
+  const auto d = lint_file(kFixtures + "/src/ml/bad_intrinsics.cpp");
+  // The immintrin.h include and both _mm256 lines are hits; the prefetch
+  // carries an allow directive and must not be.
+  EXPECT_GE(std::count_if(d.begin(), d.end(),
+                          [](const Diagnostic& x) {
+                            return x.rule == "intrinsics-outside-simd";
+                          }),
+            3);
+  EXPECT_TRUE(std::none_of(d.begin(), d.end(), [](const Diagnostic& x) {
+    return x.rule == "intrinsics-outside-simd" && x.line == 15;
+  }));
+  std::string text;
+  EXPECT_EQ(run_paths({kFixtures + "/src/ml/bad_intrinsics.cpp"}, &text), 1);
+  EXPECT_NE(text.find("intrinsics-outside-simd"), std::string::npos);
+}
+
+TEST(LintFixtures, IntrinsicsInsideSimdDirAreClean) {
+  // The same content under src/linalg/simd/ is the sanctioned home.
+  std::ifstream in(kFixtures + "/src/ml/bad_intrinsics.cpp");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto d =
+      lint_source("src/linalg/simd/kernels_avx2.cpp", buffer.str());
+  EXPECT_FALSE(has_rule(d, "intrinsics-outside-simd"));
+}
+
 TEST(LintFixtures, IostreamInLib) {
   const auto d = lint_file(kFixtures + "/src/common/bad_cout.cpp");
   EXPECT_TRUE(has_rule(d, "iostream-in-lib"));

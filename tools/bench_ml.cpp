@@ -24,6 +24,7 @@
 #include "engine/registry.hpp"
 #include "engine/schema.hpp"
 #include "engine/session.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/kernels.hpp"
 #include "ml/linreg.hpp"
 #include "ml/metrics.hpp"
@@ -123,6 +124,102 @@ Section bench_gemm(json::Writer& w, bool fast) {
   w.field("reference_ms", s.reference_ms);
   w.field("blocked_gflops", flops / blocked_s * 1e-9);
   w.field("speedup", s.speedup());
+  w.field("bit_identical", s.equivalent);
+  w.end_object();
+  return s;
+}
+
+// ----------------------------------------------------------- simd kernels --
+
+/// The runtime-dispatch matrix: the same GEMM and GEMV workloads timed under
+/// every backend the dispatch layer knows (naive, blocked, simd). The gate
+/// is the dispatch contract itself — every double-precision backend must
+/// produce bit-identical results, because the simd kernels vectorise across
+/// *independent outputs* and keep each accumulator's serial order (see
+/// docs/PERFORMANCE.md). The headline speedup compares simd against blocked;
+/// on machines where no vector unit is available simd falls back to blocked
+/// and the ratio is simply ~1.
+Section bench_simd_kernels(json::Writer& w, bool fast) {
+  const std::size_t m = fast ? 192 : 512;
+  const std::size_t k = fast ? 128 : 768;
+  const std::size_t n = fast ? 96 : 768;
+  Rng rng(42);
+  linalg::Matrix a(m, k);
+  linalg::Matrix b(k, n);
+  for (double& v : a.data()) v = rng.uniform(-1.0, 1.0);
+  for (double& v : b.data()) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> xv(k);
+  for (double& v : xv) v = rng.uniform(-1.0, 1.0);
+  std::vector<std::size_t> cols;
+  for (std::size_t j = 0; j < k; j += 3) cols.push_back(j);
+  std::vector<double> beta(cols.size());
+  for (double& v : beta) v = rng.uniform(-1.0, 1.0);
+
+  struct PerBackend {
+    linalg::Backend backend;
+    double gemm_ms = 0.0;
+    double gemv_ms = 0.0;
+    double gemv_columns_ms = 0.0;
+    linalg::Matrix c;
+    std::vector<double> y;
+    std::vector<double> yc;
+  };
+  std::vector<PerBackend> runs;
+  for (linalg::Backend backend :
+       {linalg::Backend::kNaive, linalg::Backend::kBlocked,
+        linalg::Backend::kSimd}) {
+    const linalg::ScopedBackend pin(backend);
+    PerBackend run;
+    run.backend = backend;
+    run.c = linalg::Matrix(m, n);
+    run.y.resize(m);
+    run.yc.resize(m);
+    run.gemm_ms = time_per_call([&] {
+      std::fill(run.c.data().begin(), run.c.data().end(), 0.0);
+      linalg::kernels::gemm_accumulate(a.data().data(), k, b.data().data(),
+                                       n, run.c.data().data(), n, m, k, n);
+    }) * 1e3;
+    run.gemv_ms = time_per_call([&] {
+      linalg::kernels::gemv(a.data().data(), k, m, k, xv.data(),
+                            run.y.data());
+    }) * 1e3;
+    run.gemv_columns_ms = time_per_call([&] {
+      linalg::kernels::gemv_columns(a.data().data(), k, m, cols.data(),
+                                    cols.size(), beta.data(),
+                                    run.yc.data());
+    }) * 1e3;
+    runs.push_back(std::move(run));
+  }
+
+  bool identical = true;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    identical = identical &&
+                linalg::Matrix::max_abs_diff(runs[i].c, runs[0].c) == 0.0 &&
+                bitwise_equal(runs[i].y, runs[0].y) &&
+                bitwise_equal(runs[i].yc, runs[0].yc);
+  }
+
+  Section s;
+  s.name = "simd_kernels";
+  s.reference_ms = runs[1].gemm_ms;  // blocked
+  s.optimized_ms = runs[2].gemm_ms;  // simd (or its blocked fallback)
+  s.equivalent = identical;
+
+  w.key("simd_kernels").begin_object();
+  w.field("m", m).field("k", k).field("n", n);
+  w.field("simd_available", linalg::simd_available());
+  w.field("simd_variant", linalg::simd_variant());
+  w.field("default_backend", linalg::to_string(linalg::active_backend()));
+  for (const PerBackend& run : runs) {
+    w.key(linalg::to_string(run.backend)).begin_object();
+    w.field("gemm_ms", run.gemm_ms);
+    w.field("gemv_ms", run.gemv_ms);
+    w.field("gemv_columns_ms", run.gemv_columns_ms);
+    w.end_object();
+  }
+  w.field("gemm_speedup_vs_blocked", s.speedup());
+  w.field("gemv_speedup_vs_blocked",
+          runs[2].gemv_ms > 0.0 ? runs[1].gemv_ms / runs[2].gemv_ms : 0.0);
   w.field("bit_identical", s.equivalent);
   w.end_object();
   return s;
@@ -307,6 +404,80 @@ Section bench_engine_session(json::Writer& w, const data::Dataset& full,
           static_cast<double>(kLookups) / lookup_batch_s);
   w.field("speedup", s.speedup());
   w.field("bit_identical", s.equivalent);
+  w.end_object();
+  return s;
+}
+
+// ------------------------------------------------------------ f32 session --
+
+/// The float32 serving path against the default double path, both through a
+/// real InferenceSession (registry lookup, admission, one coalesced batch).
+/// The f32 session must stay inside the documented 1e-5 relative error
+/// budget — that bound is this section's `equivalent` gate, enforced by
+/// `dsml bench --check` like every bit-identity gate — and earns its keep as
+/// throughput: the snapshot folds encoder scaling into the weights at
+/// registration, so serving touches only the selected columns in float32.
+Section bench_f32_session(json::Writer& w, const data::Dataset& full,
+                          const data::Dataset& train, bool fast) {
+  engine::ModelRegistry registry;
+  {
+    std::unique_ptr<ml::Regressor> model = ml::make_model("LR-B").make();
+    model->fit(train);
+    registry.register_model(
+        "bench", std::shared_ptr<const ml::Regressor>(std::move(model)),
+        engine::Schema::of(train), "bench");
+  }
+  const std::shared_ptr<const engine::ModelEntry> entry =
+      registry.get("bench");
+
+  const std::size_t rows = fast ? 512 : full.n_rows();
+  std::vector<std::size_t> idx(rows);
+  for (std::size_t i = 0; i < rows; ++i) idx[i] = i;
+  const data::Dataset space = full.select_rows(idx);
+
+  engine::SessionOptions sopt;
+  sopt.max_batch_rows = rows;
+  sopt.max_queue_rows = 4 * rows;
+  engine::InferenceSession double_session(registry, "bench", sopt);
+  sopt.use_f32 = true;
+  engine::InferenceSession f32_session(registry, "bench", sopt);
+
+  std::vector<double> via_double;
+  const double double_s =
+      time_per_call([&] { via_double = double_session.predict(space); });
+  std::vector<double> via_f32;
+  const double f32_s =
+      time_per_call([&] { via_f32 = f32_session.predict(space); });
+
+  // The session adds batching, never arithmetic: its f32 answers must be
+  // bit-identical to the snapshot's direct predict.
+  const bool routed = entry->f32 != nullptr &&
+                      bitwise_equal(via_f32, entry->f32->predict(space));
+
+  double max_rel = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double denom = std::max(std::abs(via_double[r]), 1e-12);
+    max_rel = std::max(max_rel, std::abs(via_f32[r] - via_double[r]) / denom);
+  }
+  constexpr double kErrorBudget = 1e-5;
+
+  Section s;
+  s.name = "f32_session";
+  s.reference_ms = double_s * 1e3;
+  s.optimized_ms = f32_s * 1e3;
+  s.max_diff = max_rel;
+  s.equivalent = routed && max_rel <= kErrorBudget;
+
+  w.key("f32_session").begin_object();
+  w.field("rows", rows);
+  w.field("double_ms", s.reference_ms);
+  w.field("f32_ms", s.optimized_ms);
+  w.field("double_rows_per_sec", static_cast<double>(rows) / double_s);
+  w.field("f32_rows_per_sec", static_cast<double>(rows) / f32_s);
+  w.field("speedup", s.speedup());
+  w.field("max_rel_error", max_rel);
+  w.field("error_budget", kErrorBudget);
+  w.field("within_budget", s.equivalent);
   w.end_object();
   return s;
 }
@@ -532,6 +703,7 @@ int run(const BenchOptions& options, std::ostream& out, std::ostream& err) {
 
   std::vector<Section> sections;
   sections.push_back(bench_gemm(w, options.fast));
+  sections.push_back(bench_simd_kernels(w, options.fast));
   sections.push_back(bench_mlp_predict(w, options.fast));
 
   const data::Dataset full = synthetic_design_space();
@@ -542,6 +714,7 @@ int run(const BenchOptions& options, std::ostream& out, std::ostream& err) {
 
   sections.push_back(bench_lr_predict(w, full, train));
   sections.push_back(bench_engine_session(w, full, train, options.fast));
+  sections.push_back(bench_f32_session(w, full, train, options.fast));
   sections.push_back(bench_estimate_error(w, train, options.fast));
   sections.push_back(bench_select_fit(w, train, options.fast));
   w.end_object();  // sections

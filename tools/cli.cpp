@@ -28,6 +28,7 @@
 #include "engine/registry.hpp"
 #include "engine/serve.hpp"
 #include "engine/session.hpp"
+#include "linalg/backend.hpp"
 #include "lint/lint.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
@@ -65,7 +66,7 @@ Options parse_options(const std::vector<std::string>& args,
       // Boolean flags may appear bare ("--fast" == "--fast 1"), so
       // `bench --fast --trace t.json` reads naturally; every other flag
       // still requires an explicit value.
-      static const std::set<std::string> kBooleanFlags = {"fast"};
+      static const std::set<std::string> kBooleanFlags = {"fast", "f32"};
       if (kBooleanFlags.count(key)) {
         if (i + 1 < args.size() &&
             (args[i + 1] == "0" || args[i + 1] == "1")) {
@@ -381,8 +382,10 @@ int cmd_serve(const Options& opt, std::istream& in, std::ostream& out,
       opt.get_or("default", names.size() == 1 ? names.front() : "");
   options.session.max_batch_rows = parse_count_flag(opt, "batch", "512");
   options.session.max_queue_rows = parse_count_flag(opt, "queue", "4096");
+  options.session.use_f32 = opt.get_or("f32", "0") == "1";
   err << "serving " << names.size() << " model(s): "
-      << strings::join(names, ", ") << "\n";
+      << strings::join(names, ", ")
+      << (options.session.use_f32 ? " [f32]" : "") << "\n";
   const engine::ServeSummary summary =
       engine::serve(registry, in, out, options);
   err << "served " << summary.requests << " request(s), " << summary.rows
@@ -427,7 +430,8 @@ int cmd_stats(const std::vector<std::string>& args, std::istream& in,
 
 std::string usage() {
   return
-      "usage: dsml [--trace F] [--failpoints SPEC] <command> [options]\n"
+      "usage: dsml [--trace F] [--failpoints SPEC] [--backend B] <command> "
+      "[options]\n"
       "\n"
       "commands:\n"
       "  list                              enumerate apps, families, models\n"
@@ -438,6 +442,8 @@ std::string usage() {
       "  predict --model F [--top N] [--csv F]   rank the design space, or\n"
       "                                    score CSV rows, via the engine\n"
       "  serve   --models N=F[,N=F...] [--default N] [--batch N] [--queue N]\n"
+      "          [--f32]                serve via float32 weight snapshots\n"
+      "                                 (<= 1e-5 rel. error; double default)\n"
       "                                    JSON-lines requests on stdin ->\n"
       "                                    predictions on stdout (see\n"
       "                                    docs/SERVING.md)\n"
@@ -449,6 +455,9 @@ std::string usage() {
       "                                    (see docs/STATIC_ANALYSIS.md)\n"
       "\n"
       "global options:\n"
+      "  --backend B        pin the linalg kernel backend: naive | blocked |\n"
+      "                     simd (default: DSML_BACKEND env, else cpuid;\n"
+      "                     all backends are bit-identical for double)\n"
       "  --trace F          collect a Chrome trace (chrome://tracing) into F\n"
       "  --failpoints SPEC  arm fault-injection points, e.g.\n"
       "                     'estimate_error.fold=nth:2,linreg.solve=prob:0.1@7'\n"
@@ -522,14 +531,29 @@ int run(const std::vector<std::string>& args, std::istream& in,
                  rest.begin() + static_cast<std::ptrdiff_t>(i) + 2);
       break;
     }
+    std::optional<linalg::Backend> backend_choice;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      if (rest[i] != "--backend") continue;
+      if (i + 1 >= rest.size() || rest[i + 1].rfind("--", 0) == 0) {
+        throw InvalidArgument("missing name for --backend");
+      }
+      backend_choice = linalg::parse_backend(rest[i + 1]);
+      rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(i),
+                 rest.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
     if (rest.empty()) {
       out << usage();
       return 1;
     }
     // RAII so the armed set never leaks past this command (run() is also
-    // invoked recursively by `dsml stats`, and repeatedly by tests).
+    // invoked recursively by `dsml stats`, and repeatedly by tests). The
+    // backend override follows the same discipline: scoped to this command,
+    // restored on exit.
     std::optional<failpoint::ScopedFailpoints> armed;
     if (failpoint_spec.has_value()) armed.emplace(*failpoint_spec);
+    std::optional<linalg::ScopedBackend> backend_override;
+    if (backend_choice.has_value()) backend_override.emplace(*backend_choice);
     if (!trace_path.empty()) trace::start(trace_path);
     int rc;
     {
