@@ -2,10 +2,8 @@
 
 #include <cstdio>
 #include <istream>
-#include <map>
-#include <memory>
 #include <ostream>
-#include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/failpoint.hpp"
@@ -22,6 +20,7 @@ struct ServeMetrics {
   metrics::Counter& requests = metrics::counter("engine.serve.requests");
   metrics::Counter& rows = metrics::counter("engine.serve.rows");
   metrics::Counter& errors = metrics::counter("engine.serve.errors");
+  metrics::Counter& partial = metrics::counter("engine.serve.partial");
 };
 
 ServeMetrics& serve_metrics() {
@@ -37,21 +36,18 @@ std::string numeric_cell(const json::Value& v) {
 
 /// Converts one request row (a JSON object keyed by column name) into cells
 /// in schema column order, rejecting unknown and missing columns by name.
-std::vector<std::string> row_cells(const json::Value& row, const Schema& schema,
-                                   std::size_t index) {
+/// `known_columns` is the schema's name set, prebuilt once per request so
+/// the unknown-key check is a hash probe instead of a per-key column scan.
+std::vector<std::string> row_cells(
+    const json::Value& row, const Schema& schema,
+    const std::unordered_set<std::string_view>& known_columns,
+    std::size_t index) {
   if (row.type() != json::Value::Type::kObject) {
     throw InvalidArgument("row " + std::to_string(index) +
                           " must be a JSON object keyed by column name");
   }
   for (const auto& [key, value] : row.fields()) {
-    bool known = false;
-    for (const SchemaColumn& c : schema.columns()) {
-      if (c.name == key) {
-        known = true;
-        break;
-      }
-    }
-    if (!known) {
+    if (known_columns.count(key) == 0) {
       throw InvalidArgument("row " + std::to_string(index) +
                             " has unknown column '" + key + "'");
     }
@@ -83,112 +79,149 @@ std::vector<std::string> row_cells(const json::Value& row, const Schema& schema,
   return cells;
 }
 
-void write_error(std::ostream& out, const std::exception& e) {
+std::string error_response(const std::exception& e) {
   json::Writer w(/*compact=*/true);
   w.begin_object()
       .field("ok", false)
       .field("error", std::string_view(e.what()))
       .field("error_type", error_kind(e))
       .end_object();
-  out << w.str();
+  return w.str();
 }
 
 }  // namespace
 
+ServeHandler::ServeHandler(ModelRegistry& registry, ServeOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+ServeHandler::~ServeHandler() = default;
+
+ServeSummary ServeHandler::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summary_;
+}
+
+std::string ServeHandler::handle(std::string_view line) {
+  if (strings::trim(line).empty()) return "";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    summary_.requests += 1;
+  }
+  serve_metrics().requests.add();
+  trace::Span request_span("serve.request", "engine");
+  return answer(line);
+}
+
+std::string ServeHandler::answer(std::string_view line) {
+  try {
+    DSML_FAIL("engine.serve.request");
+    const json::Value request = json::Value::parse(line);
+    std::string model_name = options_.default_model;
+    if (request.contains("model")) {
+      model_name = request.at("model").as_string();
+    }
+    if (model_name.empty()) {
+      throw InvalidArgument("request needs a \"model\" field");
+    }
+    const std::shared_ptr<const ModelEntry> entry = registry_.find(model_name);
+    if (entry == nullptr) {
+      throw StateError("unknown model '" + model_name + "' (registered: " +
+                       strings::join(registry_.names(), ", ") + ")");
+    }
+    if (!request.contains("rows") ||
+        request.at("rows").type() != json::Value::Type::kArray) {
+      throw InvalidArgument("request needs a \"rows\" array");
+    }
+    const std::vector<json::Value>& row_values = request.at("rows").items();
+    std::unordered_set<std::string_view> known_columns;
+    known_columns.reserve(entry->schema.size());
+    for (const SchemaColumn& c : entry->schema.columns()) {
+      known_columns.insert(c.name);
+    }
+    std::vector<std::vector<std::string>> cells;
+    cells.reserve(row_values.size());
+    for (std::size_t r = 0; r < row_values.size(); ++r) {
+      cells.push_back(row_cells(row_values[r], entry->schema, known_columns, r));
+    }
+    const data::Dataset rows = entry->schema.dataset_from_rows(cells);
+
+    InferenceSession* session = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = sessions_.find(model_name);
+      if (it == sessions_.end()) {
+        it = sessions_
+                 .emplace(model_name,
+                          std::make_unique<InferenceSession>(
+                              registry_, model_name, options_.session))
+                 .first;
+      }
+      session = it->second.get();
+    }
+    const BatchOutcome outcome = session->predict_detailed(rows);
+
+    json::Writer w(/*compact=*/true);
+    w.begin_object()
+        .field("ok", outcome.ok())
+        .field("model", model_name)
+        .field("version", entry->version);
+    if (!outcome.ok()) w.field("partial", true);
+    w.key("predictions").begin_array();
+    std::size_t fail_idx = 0;
+    for (std::size_t r = 0; r < outcome.values.size(); ++r) {
+      if (fail_idx < outcome.failed_rows.size() &&
+          outcome.failed_rows[fail_idx] == r) {
+        w.null();
+        ++fail_idx;
+      } else {
+        w.value(outcome.values[r]);
+      }
+    }
+    w.end_array();
+    if (!outcome.ok()) {
+      w.key("errors").begin_array();
+      for (std::size_t k = 0; k < outcome.failed_rows.size(); ++k) {
+        w.begin_object()
+            .field("row", static_cast<std::uint64_t>(outcome.failed_rows[k]))
+            .field("error", std::string_view(outcome.row_errors[k]))
+            .end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+
+    const std::size_t ok_rows =
+        outcome.values.size() - outcome.failed_rows.size();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      summary_.rows += ok_rows;
+      if (!outcome.ok()) summary_.partial += 1;
+    }
+    serve_metrics().rows.add(ok_rows);
+    if (!outcome.ok()) serve_metrics().partial.add();
+    return w.str();
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      summary_.errors += 1;
+    }
+    serve_metrics().errors.add();
+    return error_response(e);
+  }
+}
+
 ServeSummary serve(ModelRegistry& registry, std::istream& in,
                    std::ostream& out, const ServeOptions& options) {
   trace::Span loop_span("engine.serve", "engine");
-  ServeSummary summary;
-  std::map<std::string, std::unique_ptr<InferenceSession>> sessions;
+  ServeHandler handler(registry, options);
   std::string line;
   while (std::getline(in, line)) {
-    if (strings::trim(line).empty()) continue;
-    summary.requests += 1;
-    serve_metrics().requests.add();
-    trace::Span request_span("serve.request", "engine");
-    try {
-      DSML_FAIL("engine.serve.request");
-      const json::Value request = json::Value::parse(line);
-      std::string model_name = options.default_model;
-      if (request.contains("model")) {
-        model_name = request.at("model").as_string();
-      }
-      if (model_name.empty()) {
-        throw InvalidArgument("request needs a \"model\" field");
-      }
-      const std::shared_ptr<const ModelEntry> entry =
-          registry.find(model_name);
-      if (entry == nullptr) {
-        throw StateError("unknown model '" + model_name + "' (registered: " +
-                         strings::join(registry.names(), ", ") + ")");
-      }
-      const std::vector<json::Value>& row_values =
-          request.at("rows").items();
-      std::vector<std::vector<std::string>> cells;
-      cells.reserve(row_values.size());
-      for (std::size_t r = 0; r < row_values.size(); ++r) {
-        cells.push_back(row_cells(row_values[r], entry->schema, r));
-      }
-      const data::Dataset rows = entry->schema.dataset_from_rows(cells);
-
-      auto it = sessions.find(model_name);
-      if (it == sessions.end()) {
-        it = sessions
-                 .emplace(model_name,
-                          std::make_unique<InferenceSession>(
-                              registry, model_name, options.session))
-                 .first;
-      }
-      const BatchOutcome outcome = it->second->predict_detailed(rows);
-
-      json::Writer w(/*compact=*/true);
-      w.begin_object()
-          .field("ok", outcome.ok())
-          .field("model", model_name)
-          .field("version", entry->version);
-      if (!outcome.ok()) w.field("partial", true);
-      w.key("predictions").begin_array();
-      std::size_t fail_idx = 0;
-      for (std::size_t r = 0; r < outcome.values.size(); ++r) {
-        if (fail_idx < outcome.failed_rows.size() &&
-            outcome.failed_rows[fail_idx] == r) {
-          w.null();
-          ++fail_idx;
-        } else {
-          w.value(outcome.values[r]);
-        }
-      }
-      w.end_array();
-      if (!outcome.ok()) {
-        w.key("errors").begin_array();
-        for (std::size_t k = 0; k < outcome.failed_rows.size(); ++k) {
-          w.begin_object()
-              .field("row", static_cast<std::uint64_t>(outcome.failed_rows[k]))
-              .field("error", std::string_view(outcome.row_errors[k]))
-              .end_object();
-        }
-        w.end_array();
-      }
-      w.end_object();
-      out << w.str();
-      out.flush();
-
-      const std::size_t ok_rows =
-          outcome.values.size() - outcome.failed_rows.size();
-      summary.rows += ok_rows;
-      serve_metrics().rows.add(ok_rows);
-      if (!outcome.ok()) {
-        summary.errors += 1;
-        serve_metrics().errors.add();
-      }
-    } catch (const std::exception& e) {
-      summary.errors += 1;
-      serve_metrics().errors.add();
-      write_error(out, e);
-      out.flush();
-    }
+    const std::string response = handler.handle(line);
+    if (response.empty()) continue;
+    out << response;
+    out.flush();
   }
-  return summary;
+  return handler.summary();
 }
 
 }  // namespace dsml::engine

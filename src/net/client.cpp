@@ -1,0 +1,62 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace dsml::net {
+
+LineClient::LineClient(const std::string& host, std::uint16_t port)
+    : fd_(connect_tcp(host, port)) {}
+
+void LineClient::send_line(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd_.get(), framed.data() + off,
+                             framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("net: send(): ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string LineClient::recv_line() {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("net: recv(): ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      throw IoError("net: connection closed before a full response line");
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string LineClient::request(std::string_view line) {
+  send_line(line);
+  return recv_line();
+}
+
+void LineClient::shutdown_write() {
+  ::shutdown(fd_.get(), SHUT_WR);
+}
+
+}  // namespace dsml::net

@@ -1,0 +1,46 @@
+// Blocking newline-delimited TCP client.
+//
+// The counterpart of net/server.hpp for drivers that want simple
+// call-and-response semantics: `dsml loadgen` opens one LineClient per
+// simulated connection, and the tests use it to talk to an in-process
+// Server. One request line out (terminator appended), one response line
+// back (terminator stripped); responses are buffered internally so
+// pipelined servers and short reads are handled transparently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/socket.hpp"
+
+namespace dsml::net {
+
+class LineClient {
+ public:
+  /// Connects immediately; throws IoError if the server is unreachable.
+  LineClient(const std::string& host, std::uint16_t port);
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Sends `line` plus a '\n' terminator. Throws IoError on a broken
+  /// connection.
+  void send_line(std::string_view line);
+
+  /// Blocks for the next '\n'-terminated line and returns it without the
+  /// terminator. Throws IoError on EOF or a broken connection.
+  std::string recv_line();
+
+  /// send_line + recv_line.
+  std::string request(std::string_view line);
+
+  /// Half-closes the write side (the server sees EOF after draining).
+  void shutdown_write();
+
+ private:
+  Fd fd_;
+  std::string buf_;
+};
+
+}  // namespace dsml::net

@@ -1,0 +1,373 @@
+#include "net/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace dsml::net {
+
+namespace {
+
+struct NetMetrics {
+  metrics::Counter& accepted = metrics::counter("net.accepted");
+  metrics::Counter& shed = metrics::counter("net.shed");
+  metrics::Counter& closed = metrics::counter("net.closed");
+  metrics::Counter& requests = metrics::counter("net.requests");
+  metrics::Counter& bytes_read = metrics::counter("net.bytes_read");
+  metrics::Counter& bytes_written = metrics::counter("net.bytes_written");
+  metrics::Counter& accept_errors = metrics::counter("net.accept_errors");
+  metrics::Counter& read_errors = metrics::counter("net.read_errors");
+  metrics::Counter& write_errors = metrics::counter("net.write_errors");
+  metrics::Counter& overlong = metrics::counter("net.overlong_lines");
+};
+
+NetMetrics& net_metrics() {
+  static NetMetrics m;
+  return m;
+}
+
+/// One serve-protocol-shaped error line ({"ok":false,...}\n) composed by the
+/// transport itself, for failures the handler never sees (shed connections,
+/// overlong lines, a throwing handler).
+std::string error_line(std::string_view message, std::string_view kind) {
+  json::Writer w(/*compact=*/true);
+  w.begin_object()
+      .field("ok", false)
+      .field("error", message)
+      .field("error_type", kind)
+      .end_object();
+  return w.str();
+}
+
+}  // namespace
+
+struct Server::Connection {
+  enum class State { kReading, kDispatching, kWriting, kDraining, kClosing };
+
+  Fd fd;
+  std::string in_buf;
+  std::string out_buf;
+  std::size_t out_off = 0;  ///< bytes of out_buf already written
+  State state = State::kReading;
+
+  std::size_t pending() const noexcept { return out_buf.size() - out_off; }
+
+  bool wants_read(const ServerOptions& options) const noexcept {
+    if (state == State::kDraining || state == State::kClosing) return false;
+    // Flow control: a connection whose responses are not being consumed is
+    // not read either, so its write buffer stays bounded.
+    return pending() < options.max_write_buffer_bytes;
+  }
+  bool wants_write() const noexcept {
+    return state != State::kClosing && pending() > 0;
+  }
+};
+
+Server::Server(ServerOptions options, RequestHandler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  DSML_REQUIRE(handler_ != nullptr, "net::Server: handler is required");
+  DSML_REQUIRE(options_.max_connections >= 1,
+               "net::Server: max_connections must be >= 1");
+  DSML_REQUIRE(options_.max_request_bytes >= 1,
+               "net::Server: max_request_bytes must be >= 1");
+  listen_fd_ =
+      listen_tcp(options_.bind_address, options_.port, options_.backlog);
+  set_nonblocking(listen_fd_);
+  port_ = local_port(listen_fd_);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw IoError(std::string("net: pipe(): ") + std::strerror(errno));
+  }
+  stop_read_.reset(pipe_fds[0]);
+  stop_write_.reset(pipe_fds[1]);
+  set_nonblocking(stop_read_);
+}
+
+Server::~Server() = default;
+
+void Server::request_stop() noexcept {
+  stop_requested_.store(true, std::memory_order_release);
+  // Async-signal-safe wake-up; a full pipe means a wake-up is already
+  // pending, so the result is intentionally ignored.
+  const ssize_t ignored = ::write(stop_write_.get(), "x", 1);
+  (void)ignored;
+}
+
+ServerSummary Server::summary() const {
+  std::lock_guard<std::mutex> lock(summary_mutex_);
+  return summary_;
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (raw < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: backlog drained. Anything else (ECONNABORTED, transient
+      // resource exhaustion) is per-connection, not loop-fatal: give up on
+      // this batch and let the next poll round retry.
+      return;
+    }
+    Fd fd(raw);
+    try {
+      DSML_FAIL("net.accept");
+    } catch (const std::exception&) {
+      {
+        std::lock_guard<std::mutex> lock(summary_mutex_);
+        summary_.accept_errors += 1;
+      }
+      net_metrics().accept_errors.add();
+      continue;  // injected accept failure: drop before admission
+    }
+    if (connections_.size() >= options_.max_connections) {
+      // Admission control (only reachable when shedding — otherwise the
+      // listener is not polled at capacity): fail fast with one protocol
+      // error line instead of queueing the client blind. The line fits any
+      // socket send buffer, so this best-effort blocking send cannot stall
+      // the loop.
+      const std::string line = error_line(
+          "server at connection capacity (" +
+              std::to_string(options_.max_connections) + ")",
+          "StateError");
+      const ssize_t ignored =
+          ::send(fd.get(), line.data(), line.size(), MSG_NOSIGNAL);
+      (void)ignored;
+      {
+        std::lock_guard<std::mutex> lock(summary_mutex_);
+        summary_.shed += 1;
+      }
+      net_metrics().shed.add();
+      continue;
+    }
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto connection = std::make_unique<Connection>();
+    connection->fd = std::move(fd);
+    connections_.push_back(std::move(connection));
+    {
+      std::lock_guard<std::mutex> lock(summary_mutex_);
+      summary_.accepted += 1;
+    }
+    net_metrics().accepted.add();
+  }
+}
+
+void Server::fail_overlong(Connection& c) {
+  {
+    std::lock_guard<std::mutex> lock(summary_mutex_);
+    summary_.overlong += 1;
+  }
+  net_metrics().overlong.add();
+  c.in_buf.clear();
+  c.out_buf.append(error_line(
+      "request line exceeds " + std::to_string(options_.max_request_bytes) +
+          " bytes",
+      "InvalidArgument"));
+  // Whatever else the client pipelined after the oversized line is
+  // untrustworthy framing: flush the error, then close.
+  c.state = Connection::State::kDraining;
+}
+
+void Server::dispatch_lines(Connection& c) {
+  std::size_t start = 0;
+  while (c.state == Connection::State::kReading ||
+         c.state == Connection::State::kWriting) {
+    const std::size_t nl = c.in_buf.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string_view line(c.in_buf.data() + start, nl - start);
+    start = nl + 1;
+    // CRLF framing: tolerate clients that terminate lines with \r\n (the
+    // stdin loop tolerates it too — the JSON parser treats \r as
+    // whitespace — so both front-ends accept identical byte streams).
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.size() > options_.max_request_bytes) {
+      fail_overlong(c);
+      break;
+    }
+    c.state = Connection::State::kDispatching;
+    {
+      std::lock_guard<std::mutex> lock(summary_mutex_);
+      summary_.requests += 1;
+    }
+    net_metrics().requests.add();
+    std::string response;
+    try {
+      response = handler_(line);
+    } catch (const std::exception& e) {
+      // The handler contract is to answer failures, not throw them; if one
+      // escapes anyway the connection still gets a well-formed error line
+      // and the loop keeps serving.
+      response = error_line(e.what(), "StateError");
+    }
+    c.out_buf.append(response);
+    c.state = c.pending() > 0 ? Connection::State::kWriting
+                              : Connection::State::kReading;
+  }
+  if (c.state == Connection::State::kDraining) {
+    return;  // fail_overlong already cleared the input buffer
+  }
+  c.in_buf.erase(0, start);
+  if (c.in_buf.size() > options_.max_request_bytes) fail_overlong(c);
+}
+
+void Server::read_ready(Connection& c) {
+  try {
+    DSML_FAIL("net.read");
+  } catch (const std::exception&) {
+    {
+      std::lock_guard<std::mutex> lock(summary_mutex_);
+      summary_.read_errors += 1;
+    }
+    net_metrics().read_errors.add();
+    c.state = Connection::State::kClosing;
+    return;
+  }
+  char buf[16384];
+  const ssize_t n = ::recv(c.fd.get(), buf, sizeof(buf), 0);
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    {
+      std::lock_guard<std::mutex> lock(summary_mutex_);
+      summary_.read_errors += 1;
+    }
+    net_metrics().read_errors.add();
+    c.state = Connection::State::kClosing;
+    return;
+  }
+  if (n == 0) {
+    // Peer EOF: answer what is already buffered, then close.
+    c.state = c.pending() > 0 ? Connection::State::kDraining
+                              : Connection::State::kClosing;
+    return;
+  }
+  net_metrics().bytes_read.add(static_cast<std::uint64_t>(n));
+  c.in_buf.append(buf, static_cast<std::size_t>(n));
+  dispatch_lines(c);
+  // Optimistic flush: most responses fit the socket buffer, so answering
+  // inside the same poll round saves the client one loop latency.
+  if (c.wants_write()) write_ready(c);
+}
+
+void Server::write_ready(Connection& c) {
+  try {
+    DSML_FAIL("net.write");
+  } catch (const std::exception&) {
+    {
+      std::lock_guard<std::mutex> lock(summary_mutex_);
+      summary_.write_errors += 1;
+    }
+    net_metrics().write_errors.add();
+    c.state = Connection::State::kClosing;
+    return;
+  }
+  while (c.pending() > 0) {
+    const ssize_t n = ::send(c.fd.get(), c.out_buf.data() + c.out_off,
+                             c.pending(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      {
+        std::lock_guard<std::mutex> lock(summary_mutex_);
+        summary_.write_errors += 1;
+      }
+      net_metrics().write_errors.add();
+      c.state = Connection::State::kClosing;
+      return;
+    }
+    net_metrics().bytes_written.add(static_cast<std::uint64_t>(n));
+    c.out_off += static_cast<std::size_t>(n);
+  }
+  c.out_buf.clear();
+  c.out_off = 0;
+  if (c.state == Connection::State::kDraining) {
+    c.state = Connection::State::kClosing;
+  } else {
+    c.state = Connection::State::kReading;
+  }
+}
+
+void Server::run() {
+  trace::Span span("net.server", "net");
+  std::vector<pollfd> fds;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back(pollfd{stop_read_.get(), POLLIN, 0});
+    // At capacity without shedding, the listener is simply not polled:
+    // connections queue in the kernel backlog until a slot frees.
+    const bool poll_listen =
+        options_.shed_when_full ||
+        connections_.size() < options_.max_connections;
+    fds.push_back(pollfd{poll_listen ? listen_fd_.get() : -1, POLLIN, 0});
+    for (const auto& c : connections_) {
+      short events = 0;
+      if (c->wants_read(options_)) events |= POLLIN;
+      if (c->wants_write()) events |= POLLOUT;
+      fds.push_back(pollfd{c->fd.get(), events, 0});
+    }
+
+    // accept_ready() below appends to connections_, so remember how many
+    // connections this round's pollfds actually cover: a freshly accepted
+    // connection has no revents yet and must wait for the next round.
+    const std::size_t polled = connections_.size();
+
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("net: poll(): ") + std::strerror(errno));
+    }
+    if ((fds[0].revents & POLLIN) != 0) break;
+    if ((fds[1].revents & POLLIN) != 0) accept_ready();
+
+    for (std::size_t i = 0; i < polled; ++i) {
+      Connection& c = *connections_[i];
+      const short revents = fds[2 + i].revents;
+      if ((revents & (POLLERR | POLLNVAL)) != 0) {
+        c.state = Connection::State::kClosing;
+        continue;
+      }
+      // Write first: draining the output buffer may re-enable reading.
+      if ((revents & POLLOUT) != 0 && c.wants_write()) write_ready(c);
+      // POLLHUP can still carry buffered bytes; recv() reports the EOF.
+      if ((revents & (POLLIN | POLLHUP)) != 0 && c.wants_read(options_)) {
+        read_ready(c);
+      }
+    }
+
+    std::size_t finished = 0;
+    auto alive = connections_.begin();
+    for (auto& c : connections_) {
+      if (c->state == Connection::State::kClosing) {
+        ++finished;
+      } else {
+        *alive++ = std::move(c);
+      }
+    }
+    connections_.erase(alive, connections_.end());
+    if (finished > 0) {
+      std::lock_guard<std::mutex> lock(summary_mutex_);
+      summary_.closed += finished;
+      net_metrics().closed.add(finished);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(summary_mutex_);
+    summary_.closed += connections_.size();
+    net_metrics().closed.add(connections_.size());
+  }
+  connections_.clear();
+}
+
+}  // namespace dsml::net

@@ -1,0 +1,113 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace dsml::net {
+
+namespace {
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Fd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Fd listen_tcp(const std::string& address, std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw IoError(errno_message("net: socket()"));
+
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    throw IoError(errno_message("net: setsockopt(SO_REUSEADDR)"));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgument("net: '" + address +
+                          "' is not an IPv4 address to bind");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw IoError(errno_message("net: bind(" + address + ":" +
+                                std::to_string(port) + ")"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw IoError(errno_message("net: listen()"));
+  }
+  return fd;
+}
+
+std::uint16_t local_port(const Fd& fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw IoError(errno_message("net: getsockname()"));
+  }
+  return ntohs(addr.sin_port);
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                               &results);
+  if (rc != 0) {
+    throw IoError("net: cannot resolve '" + host +
+                  "': " + ::gai_strerror(rc));
+  }
+
+  Fd fd;
+  int last_errno = 0;
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd.reset(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_errno = errno;
+    fd.reset();
+  }
+  ::freeaddrinfo(results);
+  if (!fd.valid()) {
+    errno = last_errno;
+    throw IoError(errno_message("net: connect(" + host + ":" + service + ")"));
+  }
+  const int one = 1;
+  // Best-effort: a platform refusing TCP_NODELAY still round-trips
+  // correctly, just with Nagle-shaped latency.
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void set_nonblocking(const Fd& fd) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 ||
+      ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw IoError(errno_message("net: fcntl(O_NONBLOCK)"));
+  }
+}
+
+}  // namespace dsml::net

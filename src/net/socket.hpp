@@ -1,0 +1,77 @@
+// RAII POSIX TCP sockets for the net layer.
+//
+// The serving front-end (net/server.hpp) and the loadgen client
+// (net/client.hpp) share these primitives: a move-only file-descriptor
+// owner plus the small set of socket operations the layer needs — create a
+// listening socket, accept, connect, and switch descriptors to
+// non-blocking mode. Failures surface as IoError with errno context; no
+// descriptor ever leaks past an exception because ownership is always in
+// an Fd.
+//
+// Scope: IPv4 TCP on POSIX (the repo targets Linux CI runners). The event
+// loop above this is poll(2)-based, so nothing here requires epoll or any
+// platform extension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsml::net {
+
+/// Move-only owner of a POSIX file descriptor (-1 = empty). Closing
+/// ignores EINTR per POSIX semantics (the descriptor is gone either way).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Closes the held descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1) noexcept;
+
+  /// Gives up ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP socket bound to `address:port` (dotted-quad IPv4; port 0
+/// picks an ephemeral port — read it back with local_port) and starts
+/// listening. SO_REUSEADDR is set so restarting a server does not trip over
+/// TIME_WAIT. Throws IoError.
+Fd listen_tcp(const std::string& address, std::uint16_t port, int backlog);
+
+/// The port a bound socket actually listens on (resolves port 0).
+std::uint16_t local_port(const Fd& fd);
+
+/// Blocking connect to `host:port`; `host` may be a name ("localhost") or
+/// an IPv4 literal. TCP_NODELAY is set — the protocol is one small request
+/// line per round trip, exactly the shape Nagle's algorithm penalizes.
+/// Throws IoError.
+Fd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Switches `fd` to non-blocking mode. Throws IoError.
+void set_nonblocking(const Fd& fd);
+
+}  // namespace dsml::net

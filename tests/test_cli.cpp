@@ -5,13 +5,18 @@
 #include <cmath>
 #include <filesystem>
 #include <sstream>
+#include <thread>
 
 #include "common/csv.hpp"
 #include "common/json.hpp"
 #include "data/column.hpp"
 #include "engine/design_space.hpp"
+#include "engine/registry.hpp"
 #include "engine/schema.hpp"
+#include "engine/serve.hpp"
 #include "linalg/backend.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 
 namespace dsml::cli {
 namespace {
@@ -509,6 +514,179 @@ TEST_F(CliTest, ServeReportsPartialFailureUnderFailpoint) {
   ASSERT_TRUE(std::getline(lines, line));
   EXPECT_TRUE(json::Value::parse(line).at("ok").as_bool());
   std::filesystem::remove(model_path);
+}
+
+TEST_F(CliTest, ServeRejectsDuplicateModelNames) {
+  // `--models a=x,a=y` used to silently re-register `a` with whichever file
+  // parsed last; now the duplicate is rejected before any artifact loads
+  // (so the paths do not need to exist).
+  const auto result = run_cli(
+      {"serve", "--models", "a=/nonexistent/x.dsml,a=/nonexistent/y.dsml"},
+      "");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("'a' more than once"), std::string::npos)
+      << result.err;
+}
+
+TEST_F(CliTest, ServeMissingRowsArrayIsAClearError) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string model_path =
+      (tmp / "dsml_cli_serve_rows_model.dsml").string();
+  auto train_args = tiny_sweep_args();
+  train_args.insert(train_args.begin(),
+                    {"train", "--app", "applu", "--rate", "0.02", "--model",
+                     "LR-B", "--out", model_path});
+  ASSERT_EQ(run_cli(train_args).exit_code, 0);
+
+  const std::string input = "{\"model\": \"applu\"}\n"
+                            "{\"model\": \"applu\", \"rows\": 3}\n"
+                            "{\"rows\": []}\n";
+  const auto result =
+      run_cli({"serve", "--models", "applu=" + model_path}, input);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  std::istringstream lines(result.out);
+  std::string line;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(std::getline(lines, line));
+    const json::Value response = json::Value::parse(line);
+    EXPECT_FALSE(response.at("ok").as_bool());
+    EXPECT_NE(response.at("error").as_string().find("\"rows\" array"),
+              std::string::npos)
+        << line;
+    EXPECT_EQ(response.at("error_type").as_string(), "InvalidArgument");
+  }
+  // A present-but-empty rows array is a fine request, not an error.
+  ASSERT_TRUE(std::getline(lines, line));
+  const json::Value empty = json::Value::parse(line);
+  EXPECT_TRUE(empty.at("ok").as_bool());
+  EXPECT_EQ(empty.at("predictions").items().size(), 0u);
+  EXPECT_NE(result.err.find("2 error(s)"), std::string::npos) << result.err;
+  std::filesystem::remove(model_path);
+}
+
+TEST_F(CliTest, ServeListenRespondsByteIdenticalToStdin) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string model_path =
+      (tmp / "dsml_cli_serve_listen_model.dsml").string();
+  auto train_args = tiny_sweep_args();
+  train_args.insert(train_args.begin(),
+                    {"train", "--app", "applu", "--rate", "0.02", "--model",
+                     "LR-B", "--out", model_path});
+  ASSERT_EQ(run_cli(train_args).exit_code, 0);
+
+  const std::vector<std::string> requests = {
+      "{\"rows\": [" + design_row_json(0) + "," + design_row_json(7) + "]}",
+      "this is not json",
+      "{\"model\": \"nope\", \"rows\": []}",
+      "{\"rows\": 7}",
+  };
+  std::string input;
+  for (const std::string& r : requests) input += r + "\n";
+  const auto via_stdin =
+      run_cli({"serve", "--models", "applu=" + model_path}, input);
+  ASSERT_EQ(via_stdin.exit_code, 0) << via_stdin.err;
+
+  // The TCP front-end dispatches the same lines to the same ServeHandler
+  // code over the entry the stdin run just loaded (no reload, so the
+  // version in the responses is identical too): the response stream must
+  // match byte for byte.
+  engine::ServeOptions options;
+  options.default_model = "applu";
+  engine::ServeHandler handler(engine::ModelRegistry::global(), options);
+  net::ServerOptions server_options;
+  server_options.bind_address = "127.0.0.1";
+  server_options.port = 0;
+  net::Server server(server_options, [&](std::string_view line) {
+    return handler.handle(line);
+  });
+  std::thread runner([&] { server.run(); });
+  std::string via_tcp;
+  {
+    net::LineClient client("127.0.0.1", server.port());
+    for (const std::string& r : requests) client.send_line(r);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      via_tcp += client.recv_line() + "\n";
+    }
+  }
+  server.request_stop();
+  runner.join();
+  EXPECT_EQ(via_tcp, via_stdin.out);
+  std::filesystem::remove(model_path);
+}
+
+TEST_F(CliTest, LoadgenRequiresConnectEndpoint) {
+  const auto missing = run_cli({"loadgen"});
+  EXPECT_EQ(missing.exit_code, 1);
+  EXPECT_NE(missing.err.find("--connect"), std::string::npos) << missing.err;
+
+  const auto malformed = run_cli({"loadgen", "--connect", "nocolon"});
+  EXPECT_EQ(malformed.exit_code, 1);
+  EXPECT_NE(malformed.err.find("host:port"), std::string::npos)
+      << malformed.err;
+
+  const auto bad_port = run_cli({"loadgen", "--connect", "localhost:0"});
+  EXPECT_EQ(bad_port.exit_code, 1);
+  EXPECT_NE(bad_port.err.find("port"), std::string::npos) << bad_port.err;
+}
+
+TEST_F(CliTest, LoadgenDrivesAServerAndGatesOnItsOwnReport) {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string model_path =
+      (tmp / "dsml_cli_loadgen_model.dsml").string();
+  const std::string report_path =
+      (tmp / "dsml_cli_loadgen_report.json").string();
+  auto train_args = tiny_sweep_args();
+  train_args.insert(train_args.begin(),
+                    {"train", "--app", "applu", "--rate", "0.02", "--model",
+                     "LR-B", "--out", model_path});
+  ASSERT_EQ(run_cli(train_args).exit_code, 0);
+
+  engine::ModelRegistry& registry = engine::ModelRegistry::global();
+  registry.load_file("loadgen-target", model_path,
+                     engine::design_space_schema());
+  engine::ServeOptions options;
+  options.default_model = "loadgen-target";
+  engine::ServeHandler handler(registry, options);
+  net::ServerOptions server_options;
+  server_options.bind_address = "127.0.0.1";
+  server_options.port = 0;
+  net::Server server(server_options, [&](std::string_view line) {
+    return handler.handle(line);
+  });
+  std::thread runner([&] { server.run(); });
+
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(server.port());
+  const auto first = run_cli({"loadgen", "--connect", endpoint,
+                              "--connections", "4", "--requests", "4",
+                              "--rows", "2", "--json", report_path});
+  EXPECT_EQ(first.exit_code, 0) << first.err;
+  EXPECT_NE(first.out.find("16 ok, 0 error(s)"), std::string::npos)
+      << first.out;
+  EXPECT_NE(first.out.find("latency p50"), std::string::npos) << first.out;
+
+  // A second identical run gated against the first run's report: the
+  // deterministic fields (config, ok/error totals) must match exactly.
+  const auto gated = run_cli({"loadgen", "--connect", endpoint,
+                              "--connections", "4", "--requests", "4",
+                              "--rows", "2", "--check", report_path});
+  EXPECT_EQ(gated.exit_code, 0) << gated.err;
+  EXPECT_NE(gated.out.find("deterministic fields match"), std::string::npos)
+      << gated.out;
+
+  // A mismatched config must fail the gate.
+  const auto mismatched = run_cli({"loadgen", "--connect", endpoint,
+                                   "--connections", "2", "--requests", "4",
+                                   "--rows", "2", "--check", report_path});
+  EXPECT_EQ(mismatched.exit_code, 1);
+  EXPECT_NE(mismatched.err.find("config.connections"), std::string::npos)
+      << mismatched.err;
+
+  server.request_stop();
+  runner.join();
+  EXPECT_EQ(handler.summary().errors, 0u);
+  std::filesystem::remove(model_path);
+  std::filesystem::remove(report_path);
 }
 
 TEST_F(CliTest, BareFastFlagIsBoolean) {

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "ml/fit_score.hpp"
 #include "engine/registry.hpp"
 #include "engine/schema.hpp"
+#include "engine/serve.hpp"
 #include "engine/session.hpp"
 #include "ml/model_zoo.hpp"
 
@@ -490,6 +492,157 @@ TEST(DesignSpace, BuiltOncePerProcess) {
   EXPECT_EQ(first.n_rows(), sim::kDesignSpaceSize);
   EXPECT_TRUE(design_space_schema().matches(first));
   EXPECT_EQ(design_space_configs().size(), sim::kDesignSpaceSize);
+}
+
+// ------------------------------------------------------------------ serve --
+
+/// A request row in this suite's make_train schema, as a serve-protocol
+/// JSON object.
+std::string train_row_json() {
+  return R"({"size_kb": 16, "latency": 2, "wide": true, "predictor": "medium"})";
+}
+
+ServeHandler make_handler(ModelRegistry& registry) {
+  const data::Dataset train = make_train(24);
+  registry.register_model("m", fit_model(train, "LR-B"), Schema::of(train));
+  ServeOptions options;
+  options.default_model = "m";
+  return ServeHandler(registry, options);
+}
+
+TEST(Serve, ZeroRowRequestAnswersEmptyPredictions) {
+  ModelRegistry registry;
+  ServeHandler handler = make_handler(registry);
+  const std::string response = handler.handle(R"({"rows": []})");
+  EXPECT_EQ(response,
+            "{\"ok\":true,\"model\":\"m\",\"version\":1,\"predictions\":[]}\n");
+  const ServeSummary summary = handler.summary();
+  EXPECT_EQ(summary.requests, 1u);
+  EXPECT_EQ(summary.rows, 0u);
+  EXPECT_EQ(summary.errors, 0u);
+}
+
+TEST(Serve, MissingRowsIsAClearInvalidArgument) {
+  ModelRegistry registry;
+  ServeHandler handler = make_handler(registry);
+  // Missing and non-array "rows" must surface the protocol contract, not a
+  // raw JSON-accessor error.
+  const std::vector<std::string> bad_requests = {
+      R"({"model": "m"})", R"({"rows": {"not": "an array"}})",
+      R"({"rows": 7})"};
+  for (const std::string& request : bad_requests) {
+    const std::string response = handler.handle(request);
+    EXPECT_NE(response.find("request needs a \\\"rows\\\" array"),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("InvalidArgument"), std::string::npos) << response;
+  }
+  EXPECT_EQ(handler.summary().errors, 3u);
+}
+
+TEST(Serve, BlankLinesAreSkippedNotAnswered) {
+  ModelRegistry registry;
+  ServeHandler handler = make_handler(registry);
+  EXPECT_EQ(handler.handle(""), "");
+  EXPECT_EQ(handler.handle("   \t"), "");
+  EXPECT_EQ(handler.summary().requests, 0u);
+}
+
+TEST(Serve, CrlfTerminatedLinesParse) {
+  // The stdin loop hands getline output to the handler with the \r still
+  // attached; the JSON parser treats it as whitespace. Pin that contract —
+  // the TCP front-end strips \r itself, so both transports accept CRLF.
+  ModelRegistry registry;
+  ServeHandler handler = make_handler(registry);
+  const std::string response =
+      handler.handle("{\"rows\": [" + train_row_json() + "]}\r");
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+  EXPECT_EQ(handler.summary().rows, 1u);
+}
+
+TEST(Serve, RequestLargerThanQueueFailsAloneLoopKeepsServing) {
+  ModelRegistry registry;
+  const data::Dataset train = make_train(24);
+  registry.register_model("m", fit_model(train, "LR-B"), Schema::of(train));
+  ServeOptions options;
+  options.default_model = "m";
+  options.session.max_batch_rows = 2;
+  options.session.max_queue_rows = 4;
+  ServeHandler handler(registry, options);
+
+  std::string big = R"({"rows": [)";
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) big += ",";
+    big += train_row_json();
+  }
+  big += "]}";
+  const std::string refused = handler.handle(big);
+  EXPECT_NE(refused.find("\"ok\":false"), std::string::npos) << refused;
+  EXPECT_NE(refused.find("StateError"), std::string::npos) << refused;
+
+  const std::string served =
+      handler.handle("{\"rows\": [" + train_row_json() + "]}");
+  EXPECT_NE(served.find("\"ok\":true"), std::string::npos) << served;
+  const ServeSummary summary = handler.summary();
+  EXPECT_EQ(summary.errors, 1u);
+  EXPECT_EQ(summary.rows, 1u);
+}
+
+TEST(Serve, PartialResponsesCountSeparatelyFromErrors) {
+  ModelRegistry registry;
+  ServeHandler handler = make_handler(registry);
+  metrics::Counter& partial_metric = metrics::counter("engine.serve.partial");
+  const std::uint64_t partial_before = partial_metric.value();
+
+  std::string request = R"({"rows": [)" + train_row_json() + "," +
+                        train_row_json() + "]}";
+  std::string response;
+  {
+    // Poison one row: the batch degrades to per-row retry and exactly one
+    // row fails, yielding a partial response.
+    failpoint::ScopedFailpoints arm(
+        "engine.session.flush=nth:1,engine.session.row=nth:1");
+    response = handler.handle(request);
+  }
+  EXPECT_NE(response.find("\"partial\":true"), std::string::npos) << response;
+  EXPECT_NE(response.find("null"), std::string::npos) << response;
+
+  const ServeSummary summary = handler.summary();
+  EXPECT_EQ(summary.partial, 1u);   // a partly-answered request is not
+  EXPECT_EQ(summary.errors, 0u);    // a whole-request failure
+  EXPECT_EQ(summary.rows, 1u);      // the surviving row still counts
+  EXPECT_EQ(partial_metric.value(), partial_before + 1);
+}
+
+TEST(Serve, StdinLoopMatchesHandlerByteForByte) {
+  const std::string requests = "{\"rows\": [" + train_row_json() + "]}\n" +
+                               "\n" +  // blank line: skipped, no response
+                               R"({"model": "nope", "rows": []})" + "\n" +
+                               R"({"rows": 7})" + "\n";
+  ModelRegistry stream_registry;
+  const data::Dataset train = make_train(24);
+  stream_registry.register_model("m", fit_model(train, "LR-B"),
+                                 Schema::of(train));
+  ServeOptions options;
+  options.default_model = "m";
+  std::istringstream in(requests);
+  std::ostringstream out;
+  const ServeSummary loop_summary =
+      serve(stream_registry, in, out, options);
+
+  ModelRegistry handler_registry;
+  ServeHandler handler = make_handler(handler_registry);
+  std::string expected;
+  std::istringstream lines(requests);
+  std::string line;
+  while (std::getline(lines, line)) expected += handler.handle(line);
+
+  EXPECT_EQ(out.str(), expected);
+  const ServeSummary handler_summary = handler.summary();
+  EXPECT_EQ(loop_summary.requests, handler_summary.requests);
+  EXPECT_EQ(loop_summary.rows, handler_summary.rows);
+  EXPECT_EQ(loop_summary.errors, handler_summary.errors);
+  EXPECT_EQ(loop_summary.partial, handler_summary.partial);
 }
 
 }  // namespace

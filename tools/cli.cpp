@@ -1,6 +1,8 @@
 #include "cli.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -30,6 +32,8 @@
 #include "engine/session.hpp"
 #include "linalg/backend.hpp"
 #include "lint/lint.hpp"
+#include "loadgen.hpp"
+#include "net/server.hpp"
 #include "ml/metrics.hpp"
 #include "ml/model_zoo.hpp"
 #include "ml/serialize.hpp"
@@ -354,27 +358,85 @@ int cmd_predict(const Options& opt, std::ostream& out) {
   return 0;
 }
 
+/// The server a SIGINT/SIGTERM should stop. A plain atomic pointer because
+/// signal handlers may only touch lock-free state, and request_stop() is
+/// async-signal-safe by design (atomic store + self-pipe write).
+std::atomic<net::Server*> g_signal_server{nullptr};
+
+extern "C" void serve_signal_handler(int) {
+  if (net::Server* server = g_signal_server.load()) server->request_stop();
+}
+
+/// Runs the TCP front-end: binds, prints the resolved endpoint, and
+/// answers framed requests through `handler` until SIGINT/SIGTERM.
+engine::ServeSummary serve_listen(const Options& opt,
+                                  engine::ServeHandler& handler,
+                                  std::ostream& err) {
+  net::ServerOptions options;
+  options.bind_address = opt.get_or("bind", "127.0.0.1");
+  const std::size_t port = parse_count_flag(opt, "listen", "0");
+  if (port > 65535) {
+    throw InvalidArgument("--listen: port must be 0..65535, got " +
+                          std::to_string(port));
+  }
+  options.port = static_cast<std::uint16_t>(port);
+  options.max_connections = parse_count_flag(opt, "max-conns", "64");
+  if (options.max_connections == 0) {
+    throw InvalidArgument("--max-conns must be >= 1");
+  }
+  net::Server server(options,
+                     [&](std::string_view line) { return handler.handle(line); });
+  err << "listening on " << options.bind_address << ":" << server.port()
+      << " (max " << options.max_connections << " connection(s))\n";
+  err.flush();
+
+  g_signal_server.store(&server);
+  const auto prev_int = std::signal(SIGINT, serve_signal_handler);
+  const auto prev_term = std::signal(SIGTERM, serve_signal_handler);
+  server.run();
+  std::signal(SIGINT, prev_int);
+  std::signal(SIGTERM, prev_term);
+  g_signal_server.store(nullptr);
+
+  const net::ServerSummary net_summary = server.summary();
+  err << "closed " << net_summary.closed << " connection(s), "
+      << net_summary.shed << " shed\n";
+  return handler.summary();
+}
+
 /// `dsml serve --models name=path[,...]`: loads each artifact through the
-/// registry and answers JSON-lines requests from `in` until EOF. Protocol
-/// output goes to `out` only (one response per line, golden-diffable);
-/// operational banners go to `err`.
+/// registry and answers JSON-lines requests from `in` until EOF — or, with
+/// `--listen <port>`, from TCP connections until SIGINT/SIGTERM. Protocol
+/// output goes to `out` / the socket only (one response per line,
+/// golden-diffable); operational banners go to `err`.
 int cmd_serve(const Options& opt, std::istream& in, std::ostream& out,
               std::ostream& err) {
   const auto models = opt.get("models");
   if (!models) {
     throw InvalidArgument("serve requires --models name=path[,name=path...]");
   }
-  engine::ModelRegistry& registry = engine::ModelRegistry::global();
-  std::vector<std::string> names;
+  // Validate every spec — including duplicate names — before loading any
+  // artifact: `--models a=x,a=y` used to silently re-register `a`, leaving
+  // whichever file parsed last serving all of a's traffic.
+  std::vector<std::pair<std::string, std::string>> specs;
+  std::set<std::string> seen;
   for (const std::string& spec : parse_list(*models)) {
     const std::size_t eq = spec.find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
       throw InvalidArgument("serve --models entry '" + spec +
                             "' must be name=path");
     }
-    const std::string name = spec.substr(0, eq);
-    registry.load_file(name, spec.substr(eq + 1),
-                       engine::design_space_schema());
+    std::string name = spec.substr(0, eq);
+    if (!seen.insert(name).second) {
+      throw InvalidArgument("serve --models names model '" + name +
+                            "' more than once");
+    }
+    specs.emplace_back(std::move(name), spec.substr(eq + 1));
+  }
+  engine::ModelRegistry& registry = engine::ModelRegistry::global();
+  std::vector<std::string> names;
+  for (const auto& [name, path] : specs) {
+    registry.load_file(name, path, engine::design_space_schema());
     names.push_back(name);
   }
   engine::ServeOptions options;
@@ -386,11 +448,54 @@ int cmd_serve(const Options& opt, std::istream& in, std::ostream& out,
   err << "serving " << names.size() << " model(s): "
       << strings::join(names, ", ")
       << (options.session.use_f32 ? " [f32]" : "") << "\n";
-  const engine::ServeSummary summary =
-      engine::serve(registry, in, out, options);
+  engine::ServeSummary summary;
+  if (opt.get("listen")) {
+    engine::ServeHandler handler(registry, options);
+    summary = serve_listen(opt, handler, err);
+  } else {
+    summary = engine::serve(registry, in, out, options);
+  }
   err << "served " << summary.requests << " request(s), " << summary.rows
-      << " row(s), " << summary.errors << " error(s)\n";
+      << " row(s), " << summary.errors << " error(s), " << summary.partial
+      << " partial\n";
   return 0;
+}
+
+/// `dsml loadgen --connect host:port`: drives a running `dsml serve
+/// --listen` front-end with concurrent connections and reports latency
+/// percentiles, throughput, and the BENCH_SERVE.json perf baseline.
+int cmd_loadgen(const Options& opt, std::ostream& out, std::ostream& err) {
+  const auto endpoint = opt.get("connect");
+  if (!endpoint) {
+    throw InvalidArgument("loadgen requires --connect host:port");
+  }
+  loadgen::Options options;
+  const std::size_t colon = endpoint->rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint->size()) {
+    throw InvalidArgument("loadgen --connect endpoint '" + *endpoint +
+                          "' must be host:port");
+  }
+  options.host = endpoint->substr(0, colon);
+  std::size_t port = 0;
+  try {
+    port = static_cast<std::size_t>(
+        strings::parse_u64(endpoint->substr(colon + 1)));
+  } catch (const IoError&) {
+    throw InvalidArgument("loadgen --connect endpoint '" + *endpoint +
+                          "' must be host:port");
+  }
+  if (port == 0 || port > 65535) {
+    throw InvalidArgument("loadgen --connect: port must be 1..65535");
+  }
+  options.port = static_cast<std::uint16_t>(port);
+  options.connections = parse_count_flag(opt, "connections", "8");
+  options.requests = parse_count_flag(opt, "requests", "32");
+  options.rows = parse_count_flag(opt, "rows", "4");
+  options.model = opt.get_or("model", "");
+  options.json_path = opt.get_or("json", "");
+  options.check_path = opt.get_or("check", "");
+  return loadgen::run(options, out, err);
 }
 
 int cmd_bench(const Options& opt, std::ostream& out, std::ostream& err) {
@@ -444,9 +549,14 @@ std::string usage() {
       "  serve   --models N=F[,N=F...] [--default N] [--batch N] [--queue N]\n"
       "          [--f32]                serve via float32 weight snapshots\n"
       "                                 (<= 1e-5 rel. error; double default)\n"
+      "          [--listen P [--bind A] [--max-conns N]]\n"
       "                                    JSON-lines requests on stdin ->\n"
-      "                                    predictions on stdout (see\n"
-      "                                    docs/SERVING.md)\n"
+      "                                    predictions on stdout, or over TCP\n"
+      "                                    with --listen (see docs/SERVING.md)\n"
+      "  loadgen --connect H:P [--connections N] [--requests M] [--rows R]\n"
+      "          [--model N] [--json F] [--check F]\n"
+      "                                    drive a --listen server, report\n"
+      "                                    latency percentiles + rows/sec\n"
       "  bench   [--json F] [--check F] [--fast 1]   ML perf bench + JSON report\n"
       "  stats   [--json F] [command...]   run command, dump metrics registry\n"
       "  lint    [--list-rules] [--graph dot|json] [--sarif F]\n"
@@ -486,6 +596,7 @@ int dispatch(const std::vector<std::string>& args, std::istream& in,
   if (cmd == "train") return cmd_train(opt, out);
   if (cmd == "predict") return cmd_predict(opt, out);
   if (cmd == "serve") return cmd_serve(opt, in, out, err);
+  if (cmd == "loadgen") return cmd_loadgen(opt, out, err);
   if (cmd == "bench") return cmd_bench(opt, out, err);
   err << "unknown command '" << cmd << "'\n" << usage();
   return 1;
