@@ -84,6 +84,29 @@ void store_cache(const std::string& path, const SweepResult& result) {
   csv::write_file(path, table);
 }
 
+/// The deterministic front half of a sweep: generate the app's full
+/// instruction stream, pick SimPoints, extract the reduced trace. Depends
+/// only on (app, options), so every process that runs it — one sweeping
+/// locally, or each worker of a sharded fleet — simulates the identical
+/// reduced trace.
+struct ReducedTrace {
+  sim::Trace trace;
+  std::size_t simpoint_count = 0;
+};
+
+ReducedTrace build_reduced_trace(const std::string& app,
+                                 const SweepOptions& options) {
+  const workload::AppProfile profile = workload::spec_profile(app);
+  const sim::Trace full = workload::generate_trace(
+      profile, options.full_trace_instructions, options.trace_seed);
+  const workload::SimPoints points = workload::choose_simpoints(
+      full, options.interval_instructions, options.max_clusters);
+  ReducedTrace out;
+  out.trace = workload::extract_intervals(full, points);
+  out.simpoint_count = points.points.size();
+  return out;
+}
+
 }  // namespace
 
 SweepResult run_design_space_sweep(const std::string& app,
@@ -103,12 +126,8 @@ SweepResult run_design_space_sweep(const std::string& app,
 
   trace::Stopwatch sweep_timer;
 
-  const workload::AppProfile profile = workload::spec_profile(app);
-  const sim::Trace full = workload::generate_trace(
-      profile, options.full_trace_instructions, options.trace_seed);
-  const workload::SimPoints points = workload::choose_simpoints(
-      full, options.interval_instructions, options.max_clusters);
-  const sim::Trace reduced = workload::extract_intervals(full, points);
+  const ReducedTrace reduced_trace = build_reduced_trace(app, options);
+  const sim::Trace& reduced = reduced_trace.trace;
 
   const std::vector<sim::ProcessorConfig> space =
       sim::enumerate_design_space();
@@ -120,7 +139,7 @@ SweepResult run_design_space_sweep(const std::string& app,
     result.cycles[i] = static_cast<double>(r.cycles);
   });
 
-  result.simpoint_count = points.points.size();
+  result.simpoint_count = reduced_trace.simpoint_count;
   result.simulated_instructions = reduced.size();
   result.seconds = sweep_timer.seconds();
   if (options.use_cache) {
@@ -133,6 +152,125 @@ SweepResult run_design_space_sweep(const std::string& app,
           metrics::counter("dse.cache_store_failures");
       bad_store.add();
     }
+  }
+  return result;
+}
+
+SweepShard run_sweep_shard(const std::string& app, const SweepOptions& options,
+                           const std::vector<std::size_t>& indices) {
+  DSML_REQUIRE(!indices.empty(), "run_sweep_shard: empty index set");
+  DSML_REQUIRE(options.full_trace_instructions >=
+                   options.interval_instructions * 2,
+               "run_sweep_shard: trace shorter than two intervals");
+  {
+    std::vector<std::uint8_t> seen(sim::kDesignSpaceSize, 0);
+    for (const std::size_t idx : indices) {
+      if (idx >= sim::kDesignSpaceSize) {
+        throw InvalidArgument("run_sweep_shard: index " + std::to_string(idx) +
+                              " outside design space of " +
+                              std::to_string(sim::kDesignSpaceSize));
+      }
+      if (seen[idx]++) {
+        throw InvalidArgument("run_sweep_shard: duplicate index " +
+                              std::to_string(idx));
+      }
+    }
+  }
+  trace::Span shard_span([&] { return "run_sweep_shard " + app; }, "dse");
+
+  SweepShard shard;
+  shard.indices = indices;
+  shard.cycles.assign(indices.size(), 0.0);
+
+  if (options.use_cache) {
+    // A complete cached sweep already holds this shard's answers; slice it.
+    // Shards never *write* the cache — a partial table stored under the
+    // full-sweep key would poison every later load.
+    SweepResult cached;
+    cached.app = app;
+    if (load_cached(cache_path(app, options), cached)) {
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        shard.cycles[i] = cached.cycles[indices[i]];
+      }
+      shard.simpoint_count = cached.simpoint_count;
+      shard.simulated_instructions = cached.simulated_instructions;
+      return shard;
+    }
+  }
+
+  const ReducedTrace reduced_trace = build_reduced_trace(app, options);
+  const std::vector<sim::ProcessorConfig> space =
+      sim::enumerate_design_space();
+  static metrics::Counter& simulated = metrics::counter("dse.configs_simulated");
+  parallel_for(0, indices.size(), [&](std::size_t i) {
+    const sim::SimResult r =
+        sim::simulate(space[indices[i]], reduced_trace.trace);
+    simulated.add();
+    shard.cycles[i] = static_cast<double>(r.cycles);
+  });
+  shard.simpoint_count = reduced_trace.simpoint_count;
+  shard.simulated_instructions = reduced_trace.trace.size();
+  return shard;
+}
+
+SweepResult merge_sweep_shards(const std::string& app,
+                               const std::vector<SweepShard>& shards) {
+  if (shards.empty()) {
+    throw StateError("merge_sweep_shards: no shards to merge");
+  }
+  SweepResult result;
+  result.app = app;
+  result.cycles.assign(sim::kDesignSpaceSize, 0.0);
+
+  std::vector<std::uint8_t> count(sim::kDesignSpaceSize, 0);
+  bool first = true;
+  for (const SweepShard& shard : shards) {
+    if (shard.indices.size() != shard.cycles.size()) {
+      throw StateError("merge_sweep_shards: shard has " +
+                       std::to_string(shard.indices.size()) +
+                       " indices but " + std::to_string(shard.cycles.size()) +
+                       " cycle counts");
+    }
+    if (first) {
+      result.simpoint_count = shard.simpoint_count;
+      result.simulated_instructions = shard.simulated_instructions;
+      first = false;
+    } else if (shard.simpoint_count != result.simpoint_count ||
+               shard.simulated_instructions != result.simulated_instructions) {
+      throw StateError(
+          "merge_sweep_shards: shards disagree on sweep conditions "
+          "(simpoints " +
+          std::to_string(shard.simpoint_count) + " vs " +
+          std::to_string(result.simpoint_count) + ", instructions " +
+          std::to_string(shard.simulated_instructions) + " vs " +
+          std::to_string(result.simulated_instructions) + ")");
+    }
+    for (std::size_t i = 0; i < shard.indices.size(); ++i) {
+      const std::size_t idx = shard.indices[i];
+      if (idx >= sim::kDesignSpaceSize) {
+        throw StateError("merge_sweep_shards: index " + std::to_string(idx) +
+                         " outside design space of " +
+                         std::to_string(sim::kDesignSpaceSize));
+      }
+      if (count[idx]++ == 0) {
+        result.cycles[idx] = shard.cycles[i];
+      }
+    }
+  }
+
+  std::size_t missing = 0;
+  std::size_t duplicated = 0;
+  for (const std::uint8_t c : count) {
+    if (c == 0) ++missing;
+    if (c > 1) ++duplicated;
+  }
+  if (missing != 0 || duplicated != 0) {
+    // Exact coverage is the whole point: a lost shard must surface as an
+    // error here, never as a silently partial table.
+    throw StateError("merge_sweep_shards: incomplete coverage (" +
+                     std::to_string(missing) + " configurations missing, " +
+                     std::to_string(duplicated) + " duplicated of " +
+                     std::to_string(sim::kDesignSpaceSize) + ")");
   }
   return result;
 }

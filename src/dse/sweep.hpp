@@ -38,12 +38,42 @@ struct SweepResult {
   double seconds = 0.0;           ///< wall time of the sweep (0 if cached)
 };
 
+/// One worker's slice of a sharded sweep: the configuration indices it
+/// simulated and their cycle counts, index-aligned. simpoint_count and
+/// simulated_instructions are whole-sweep properties (they depend only on
+/// the app and options, not the shard), repeated here so merge can verify
+/// every shard was computed under identical conditions.
+struct SweepShard {
+  std::vector<std::size_t> indices;
+  std::vector<double> cycles;
+  std::size_t simpoint_count = 0;
+  std::size_t simulated_instructions = 0;
+};
+
 /// Resolve the cache directory (explicit option > DSML_CACHE_DIR > default).
 std::string resolve_cache_dir(const std::string& explicit_dir);
 
 /// Run (or load) the sweep for one application profile name.
 SweepResult run_design_space_sweep(const std::string& app,
                                    const SweepOptions& options = {});
+
+/// Simulate only the given configuration indices (the distributed-DSE
+/// worker's unit of work). Trace generation and SimPoint selection are
+/// deterministic in (app, options), so a shard's cycles are bit-identical
+/// to the same indices of a full local sweep — that is what makes the
+/// coordinator's merged table byte-identical to the single-process run.
+/// With use_cache, a complete cached sweep is sliced instead of
+/// re-simulated; shards never *write* the cache (they are partial).
+/// Throws InvalidArgument on an empty, duplicate, or out-of-range index set.
+SweepShard run_sweep_shard(const std::string& app, const SweepOptions& options,
+                           const std::vector<std::size_t>& indices);
+
+/// Reassemble a full SweepResult from shards. Requires exact coverage —
+/// every configuration present exactly once — and identical
+/// simpoints/instructions across shards; throws StateError otherwise, so a
+/// lost shard can never produce a silently partial table.
+SweepResult merge_sweep_shards(const std::string& app,
+                               const std::vector<SweepShard>& shards);
 
 /// The modelling dataset for a sweep: 24 feature columns (Table 1) plus the
 /// cycle-count target.

@@ -66,6 +66,13 @@ Schema Schema::of(const data::Dataset& dataset) {
   return schema;
 }
 
+Schema Schema::from_columns(std::vector<SchemaColumn> columns) {
+  Schema schema;
+  schema.columns_ = std::move(columns);
+  schema.refingerprint();
+  return schema;
+}
+
 void Schema::refingerprint() {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
   fnv_mix(h, static_cast<std::uint64_t>(columns_.size()));

@@ -41,6 +41,10 @@ class Schema {
   /// excluded: prediction-time datasets have none).
   static Schema of(const data::Dataset& dataset);
 
+  /// Rebuilds a schema from explicit column contracts — the deserialization
+  /// path for schemas shipped inside registry snapshots.
+  static Schema from_columns(std::vector<SchemaColumn> columns);
+
   const std::vector<SchemaColumn>& columns() const noexcept {
     return columns_;
   }

@@ -1,0 +1,93 @@
+// Fleet coordinator: fault-tolerant scatter/gather over the worker fleet.
+//
+// coordinator_sweep partitions the design space across the workers that
+// answer a health ping (consistent hash, hash_ring.hpp), scatters one sweep
+// request per worker, and gathers the shard responses. Every network step
+// runs under a deadline (connect timeout + kernel-enforced I/O timeout), so
+// a dead, wedged, or stalled worker costs one bounded wait, never a hang.
+//
+// Failure model — the invariant is "complete table or loud error, never a
+// silent partial result":
+//   - a worker that fails ping, dies mid-request (EOF), times out, or
+//     answers ok:false is *evicted for the round*: its failure is recorded
+//     as a FailureRecord (taxonomy type via error_kind) and its indices
+//     return to the unassigned pool;
+//   - the next round re-pings every endpoint (a supervisor-respawned worker
+//     rejoins; a permanently dead one stays out), rebuilds the ring from
+//     the survivors, and reassigns only the missing indices — consistent
+//     hashing keeps completed shards where they are;
+//   - after max_rounds, any still-missing indices raise StateError naming
+//     the count. A merged result is checked by dse::merge_sweep_shards for
+//     exact coverage, so the table the caller gets is byte-identical to a
+//     single-process sweep.
+//
+// Failpoints `fleet.coordinator.scatter` / `fleet.coordinator.gather`
+// inject coordinator-side connection failures; the round loop must contain
+// them exactly like real worker deaths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dse/sweep.hpp"
+
+namespace dsml::fleet {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  /// "host:port" — the node name used on the hash ring and in records.
+  std::string label() const;
+};
+
+/// Parses "host:port". Throws InvalidArgument on a malformed spec.
+Endpoint parse_endpoint(const std::string& spec);
+
+struct CoordinatorOptions {
+  std::uint32_t connect_timeout_ms = 2000;   ///< per connection attempt
+  std::uint32_t ping_timeout_ms = 2000;      ///< health-check I/O deadline
+  std::uint32_t request_timeout_ms = 120000; ///< shard I/O deadline
+  std::size_t max_rounds = 3;                ///< assignment attempts
+  std::size_t ring_replicas = 64;            ///< hash-ring virtual nodes
+  dse::SweepOptions sweep;
+};
+
+struct FleetSweepResult {
+  dse::SweepResult sweep;                ///< complete merged table
+  std::vector<FailureRecord> failures;   ///< every tolerated worker failure
+  std::vector<std::string> evicted;      ///< endpoints evicted in some round
+  std::size_t rounds = 0;                ///< assignment rounds used
+  std::size_t workers_used = 0;          ///< workers that returned a shard
+};
+
+/// Runs the full design-space sweep for `app` across `workers`. Throws
+/// InvalidArgument on an empty worker list, StateError when coverage cannot
+/// be completed within max_rounds (e.g. every worker dead).
+FleetSweepResult coordinator_sweep(const std::string& app,
+                                   const std::vector<Endpoint>& workers,
+                                   const CoordinatorOptions& options);
+
+/// One worker's outcome of a model push.
+struct PushOutcome {
+  std::string endpoint;
+  std::uint64_t version = 0;  ///< 0 when the push failed
+};
+
+struct PushResult {
+  std::vector<PushOutcome> outcomes;
+  std::vector<FailureRecord> failures;
+};
+
+/// Ships a registry snapshot (ModelRegistry::serialize_entry) to every
+/// worker; each applies it via the atomic registry swap. Per-worker
+/// failures are recorded, not fatal — the caller decides whether a partial
+/// rollout is acceptable.
+PushResult push_model_snapshot(const std::string& name,
+                               const std::string& snapshot,
+                               const std::vector<Endpoint>& workers,
+                               const CoordinatorOptions& options);
+
+}  // namespace dsml::fleet

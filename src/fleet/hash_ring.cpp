@@ -1,0 +1,92 @@
+#include "fleet/hash_ring.hpp"
+
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace dsml::fleet {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t v) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t shift = 0; shift < 64; shift += 8) {
+    h ^= (v >> shift) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t replicas) : replicas_(replicas) {
+  DSML_REQUIRE(replicas_ > 0, "HashRing: replicas must be positive");
+}
+
+void HashRing::add(const std::string& node) {
+  DSML_REQUIRE(!node.empty(), "HashRing: empty node name");
+  if (!nodes_.insert(node).second) return;
+  for (std::size_t r = 0; r < replicas_; ++r) {
+    const std::uint64_t point = fnv1a(node + "#" + std::to_string(r));
+    // Two virtual nodes can collide on a ring point; resolve by smaller
+    // name so ownership is a function of the member set, not of the order
+    // nodes were added in.
+    auto [it, inserted] = ring_.emplace(point, node);
+    if (!inserted && node < it->second) it->second = node;
+  }
+}
+
+void HashRing::erase(const std::string& node) {
+  if (nodes_.erase(node) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node) {
+      // Re-derive the point's owner among remaining nodes in case this
+      // point was a collision we won earlier.
+      const std::uint64_t point = it->first;
+      it = ring_.erase(it);
+      for (const std::string& other : nodes_) {
+        for (std::size_t r = 0; r < replicas_; ++r) {
+          if (fnv1a(other + "#" + std::to_string(r)) == point) {
+            auto [rit, inserted] = ring_.emplace(point, other);
+            if (!inserted && other < rit->second) rit->second = other;
+          }
+        }
+      }
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::string> HashRing::nodes() const {
+  return std::vector<std::string>(nodes_.begin(), nodes_.end());
+}
+
+const std::string& HashRing::owner(std::uint64_t key) const {
+  if (ring_.empty()) {
+    throw StateError("HashRing: no nodes to own key " + std::to_string(key));
+  }
+  auto it = ring_.lower_bound(fnv1a_u64(key));
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::map<std::string, std::vector<std::size_t>> HashRing::partition(
+    std::size_t n) const {
+  std::map<std::string, std::vector<std::size_t>> shards;
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[owner(i)].push_back(i);
+  }
+  return shards;
+}
+
+}  // namespace dsml::fleet

@@ -1,0 +1,55 @@
+// Consistent hashing for shard placement.
+//
+// The coordinator partitions the 4608-configuration design space across
+// workers by hashing each configuration index onto a ring of virtual nodes
+// (`replicas` points per worker, FNV-1a). The property that matters for
+// fault tolerance: when a worker is evicted, only the keys it owned move —
+// every surviving worker keeps its shard, so a retry round re-simulates just
+// the dead worker's slice instead of restarting the sweep. Placement is a
+// pure function of the node names and replica count, so coordinator and
+// tests agree on who owns what without any negotiation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dsml::fleet {
+
+class HashRing {
+ public:
+  /// `replicas` virtual nodes per real node; more replicas → smoother
+  /// balance, linearly more ring memory. Throws InvalidArgument on 0.
+  explicit HashRing(std::size_t replicas = 64);
+
+  /// Adds a node (idempotent).
+  void add(const std::string& node);
+
+  /// Removes a node (idempotent). Keys owned by other nodes do not move.
+  void erase(const std::string& node);
+
+  bool empty() const noexcept { return nodes_.empty(); }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Member nodes, sorted.
+  std::vector<std::string> nodes() const;
+
+  /// The node owning `key` (first ring point clockwise from hash(key)).
+  /// Throws StateError on an empty ring.
+  const std::string& owner(std::uint64_t key) const;
+
+  /// Partitions keys [0, n) across the current nodes: one entry per node
+  /// that owns at least one key, indices sorted ascending. Throws StateError
+  /// on an empty ring.
+  std::map<std::string, std::vector<std::size_t>> partition(
+      std::size_t n) const;
+
+ private:
+  std::size_t replicas_;
+  std::map<std::uint64_t, std::string> ring_;  ///< ring point → node
+  std::set<std::string> nodes_;
+};
+
+}  // namespace dsml::fleet

@@ -1,0 +1,243 @@
+#include "fleet/supervisor.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+
+namespace dsml::fleet {
+
+namespace {
+
+struct SupervisorMetrics {
+  metrics::Counter& spawns = metrics::counter("fleet.supervisor.spawns");
+  metrics::Counter& respawns = metrics::counter("fleet.supervisor.respawns");
+};
+
+SupervisorMetrics& supervisor_metrics() {
+  static SupervisorMetrics m;
+  return m;
+}
+
+std::string describe_exit(int status) {
+  if (WIFEXITED(status)) {
+    return "status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "signal " + std::to_string(WTERMSIG(status));
+  }
+  return "status " + std::to_string(status);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {
+  DSML_REQUIRE(options_.workers > 0, "fleet: supervisor needs >= 1 worker");
+  DSML_REQUIRE(!options_.exe.empty(), "fleet: supervisor needs a worker binary");
+  DSML_REQUIRE(options_.backoff_initial_ms > 0,
+               "fleet: backoff_initial_ms must be positive");
+  slots_.resize(options_.workers);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const std::uint16_t want =
+        options_.port_base == 0
+            ? 0
+            : static_cast<std::uint16_t>(options_.port_base + i);
+    slots_[i].listen =
+        net::listen_tcp(options_.bind_address, want, options_.backlog);
+    slots_[i].port = net::local_port(slots_[i].listen);
+    slots_[i].backoff_ms = options_.backoff_initial_ms;
+  }
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+std::vector<Endpoint> Supervisor::endpoints() const {
+  std::vector<Endpoint> out;
+  out.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    out.push_back(Endpoint{options_.bind_address, slot.port});
+  }
+  return out;
+}
+
+void Supervisor::start() {
+  if (started_) {
+    throw StateError("fleet: supervisor already started");
+  }
+  started_ = true;
+  for (std::size_t i = 0; i < slots_.size(); ++i) spawn(i);
+}
+
+void Supervisor::spawn(std::size_t index) {
+  Slot& slot = slots_[index];
+  std::vector<std::string> args;
+  args.reserve(options_.worker_args.size() + 3);
+  args.push_back(options_.exe);
+  for (const std::string& a : options_.worker_args) args.push_back(a);
+  args.push_back("--listen-fd");
+  args.push_back(std::to_string(slot.listen.get()));
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw IoError(std::string("fleet: fork(): ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child. Drop the *other* slots' listeners so a worker never pins a
+    // sibling's port after the supervisor dies; its own descriptor is the
+    // one inherited resource it needs.
+    for (std::size_t j = 0; j < slots_.size(); ++j) {
+      if (j != index && slots_[j].listen.valid()) {
+        ::close(slots_[j].listen.get());
+      }
+    }
+    ::execv(options_.exe.c_str(), argv.data());
+    _exit(127);  // exec failed; the parent sees the exit status
+  }
+  slot.pid = pid;
+  slot.waiting = false;
+  supervisor_metrics().spawns.add();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++summary_.spawns;
+  }
+  push_event("spawned worker " + std::to_string(index) + " pid " +
+             std::to_string(pid) + " on " + options_.bind_address + ":" +
+             std::to_string(slot.port));
+}
+
+std::size_t Supervisor::tick() {
+  if (!started_ || stopped_) return 0;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.evicted) continue;
+    if (slot.pid > 0) {
+      int status = 0;
+      const pid_t reaped = ::waitpid(slot.pid, &status, WNOHANG);
+      if (reaped == 0) {
+        ++live;
+        continue;
+      }
+      push_event("worker " + std::to_string(i) + " pid " +
+                 std::to_string(slot.pid) + " exited (" +
+                 (reaped == slot.pid ? describe_exit(status)
+                                     : std::string("waitpid failed")) +
+                 ")");
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++summary_.exits;
+      }
+      slot.pid = -1;
+      slot.waiting = true;
+      slot.since_exit.restart();
+    }
+    if (!slot.waiting) continue;
+    if (slot.respawns >= options_.max_respawns) {
+      // Terminal: the slot keeps crashing, so stop feeding it work. The
+      // socket closes too — coordinators get connection-refused (fast)
+      // instead of a backlog that nobody will ever drain.
+      slot.evicted = true;
+      slot.waiting = false;
+      slot.listen.reset();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++summary_.evictions;
+      }
+      push_event("evicted worker " + std::to_string(i) + " after " +
+                 std::to_string(slot.respawns) + " respawns");
+      continue;
+    }
+    if (slot.since_exit.seconds() * 1000.0 >=
+        static_cast<double>(slot.backoff_ms)) {
+      ++slot.respawns;
+      supervisor_metrics().respawns.add();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++summary_.respawns;
+      }
+      push_event("respawning worker " + std::to_string(i) + " (attempt " +
+                 std::to_string(slot.respawns) + ", next backoff " +
+                 std::to_string(slot.backoff_ms * 2) + " ms)");
+      slot.backoff_ms =
+          std::min(slot.backoff_ms * 2, options_.backoff_max_ms);
+      spawn(i);
+      ++live;
+    }
+  }
+  return live;
+}
+
+std::vector<std::size_t> Supervisor::evicted() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].evicted) out.push_back(i);
+  }
+  return out;
+}
+
+SupervisorSummary Supervisor::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return summary_;
+}
+
+std::vector<std::string> Supervisor::drain_events() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.swap(events_);
+  return out;
+}
+
+void Supervisor::push_event(std::string event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Supervisor::stop(std::uint32_t grace_ms) {
+  if (stopped_) return;
+  stopped_ = true;
+  for (Slot& slot : slots_) {
+    if (slot.pid > 0) ::kill(slot.pid, SIGTERM);
+  }
+  trace::Stopwatch grace;
+  for (;;) {
+    std::size_t live = 0;
+    for (Slot& slot : slots_) {
+      if (slot.pid <= 0) continue;
+      int status = 0;
+      if (::waitpid(slot.pid, &status, WNOHANG) == slot.pid) {
+        slot.pid = -1;
+      } else {
+        ++live;
+      }
+    }
+    if (live == 0) return;
+    if (grace.seconds() * 1000.0 >= static_cast<double>(grace_ms)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Grace expired: SIGKILL cannot be ignored, so the blocking reap below
+  // terminates.
+  for (Slot& slot : slots_) {
+    if (slot.pid > 0) {
+      ::kill(slot.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(slot.pid, &status, 0);
+      slot.pid = -1;
+    }
+  }
+}
+
+}  // namespace dsml::fleet

@@ -1,0 +1,118 @@
+// Fleet supervisor: owns worker processes and keeps their ports alive.
+//
+// The supervisor binds every worker's listen socket *itself* and passes the
+// descriptor across fork/exec (`dsml worker --listen-fd N`, adopted via
+// ServerOptions::adopted_fd). That inversion is the crash-tolerance trick:
+// when a worker dies — including kill -9 — the parent still holds the
+// listening socket, so the endpoint keeps accepting and clients queue in
+// the kernel backlog while the replacement process starts, instead of
+// seeing connection-refused. Endpoints are therefore stable for the
+// supervisor's lifetime, across any number of respawns.
+//
+// Respawn state machine, driven by tick() (waitpid WNOHANG, never blocks):
+//
+//   running ──exit/signal──▶ backoff ──deadline reached──▶ running
+//                               │  (exponential: initial·2^n, capped)
+//                               └──respawn budget exhausted──▶ evicted
+//
+// Eviction is terminal: a slot that crashed `max_respawns + 1` times is
+// assumed poisoned (bad model file, OOM loop) and its socket is closed so
+// coordinators fail fast on it instead of queueing forever. Events (spawn,
+// exit, respawn, evict) are queued for the CLI to drain and print — the
+// library never writes to a stream itself.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "common/trace.hpp"
+#include "fleet/coordinator.hpp"
+#include "net/socket.hpp"
+
+namespace dsml::fleet {
+
+struct SupervisorOptions {
+  std::string exe;                       ///< worker binary (e.g. /proc/self/exe resolved)
+  std::vector<std::string> worker_args;  ///< argv after the binary, before --listen-fd
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port_base = 0;           ///< 0 = ephemeral per slot; else base+slot
+  std::size_t workers = 3;
+  int backlog = 128;
+  std::uint32_t backoff_initial_ms = 100;
+  std::uint32_t backoff_max_ms = 2000;
+  std::size_t max_respawns = 5;          ///< respawn budget per slot
+};
+
+struct SupervisorSummary {
+  std::uint64_t spawns = 0;    ///< processes started (initial + respawns)
+  std::uint64_t respawns = 0;  ///< restarts after a death
+  std::uint64_t exits = 0;     ///< worker deaths observed
+  std::uint64_t evictions = 0; ///< slots retired for good
+};
+
+class Supervisor {
+ public:
+  /// Binds all listen sockets (so endpoints() is final before any worker
+  /// runs). Throws InvalidArgument on a bad option, IoError on bind failure.
+  explicit Supervisor(SupervisorOptions options);
+
+  /// Stops any workers still running (SIGTERM, then SIGKILL).
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// One endpoint per slot, stable across respawns. Evicted slots keep
+  /// their entry (callers see the connection error and route around it).
+  std::vector<Endpoint> endpoints() const;
+
+  /// Spawns every worker. Throws StateError if called twice.
+  void start();
+
+  /// Reaps dead workers and respawns those whose backoff expired; never
+  /// blocks. Returns the number of slots currently running a live process.
+  std::size_t tick();
+
+  /// Slots retired after exhausting their respawn budget.
+  std::vector<std::size_t> evicted() const;
+
+  SupervisorSummary summary() const;
+
+  /// Human-readable lifecycle events accumulated since the last drain,
+  /// oldest first ("spawned worker 2 pid 1234 on 127.0.0.1:9002", ...).
+  std::vector<std::string> drain_events();
+
+  /// SIGTERM every live worker, wait up to `grace_ms`, SIGKILL stragglers,
+  /// reap everything. Idempotent.
+  void stop(std::uint32_t grace_ms = 2000);
+
+ private:
+  struct Slot {
+    net::Fd listen;
+    std::uint16_t port = 0;
+    pid_t pid = -1;
+    bool waiting = false;          ///< dead, respawn pending
+    bool evicted = false;
+    std::size_t respawns = 0;
+    std::uint32_t backoff_ms = 0;
+    trace::Stopwatch since_exit;
+  };
+
+  void spawn(std::size_t index);
+  void push_event(std::string event);
+
+  SupervisorOptions options_;
+  std::vector<Slot> slots_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex mutex_;  ///< guards summary_ and events_
+  SupervisorSummary summary_;
+  std::vector<std::string> events_;
+};
+
+}  // namespace dsml::fleet

@@ -1,6 +1,7 @@
 #include "net/client.hpp"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 
 #include <cerrno>
 #include <cstring>
@@ -9,8 +10,37 @@
 
 namespace dsml::net {
 
-LineClient::LineClient(const std::string& host, std::uint16_t port)
-    : fd_(connect_tcp(host, port)) {}
+namespace {
+
+timeval timeout_to_timeval(std::uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return tv;
+}
+
+}  // namespace
+
+LineClient::LineClient(const std::string& host, std::uint16_t port,
+                       ClientOptions options)
+    : fd_(options.connect_timeout_ms > 0
+              ? connect_tcp(host, port, options.connect_timeout_ms)
+              : connect_tcp(host, port)),
+      io_timeout_ms_(options.io_timeout_ms) {
+  if (io_timeout_ms_ > 0) {
+    const timeval tv = timeout_to_timeval(io_timeout_ms_);
+    // The kernel enforces the deadline on every blocking send/recv, so the
+    // hot path needs no extra poll. Failure to set the option would leave
+    // the client able to hang forever, which defeats the point — surface it.
+    if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+            0 ||
+        ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) !=
+            0) {
+      throw IoError(std::string("net: setsockopt(SO_RCVTIMEO): ") +
+                    std::strerror(errno));
+    }
+  }
+}
 
 void LineClient::send_line(std::string_view line) {
   std::string framed;
@@ -23,6 +53,10 @@ void LineClient::send_line(std::string_view line) {
                              framed.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && io_timeout_ms_ > 0) {
+        throw IoError("net: send(): timed out after " +
+                      std::to_string(io_timeout_ms_) + " ms");
+      }
       throw IoError(std::string("net: send(): ") + std::strerror(errno));
     }
     off += static_cast<std::size_t>(n);
@@ -41,6 +75,10 @@ std::string LineClient::recv_line() {
     const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && io_timeout_ms_ > 0) {
+        throw IoError("net: recv(): timed out after " +
+                      std::to_string(io_timeout_ms_) + " ms");
+      }
       throw IoError(std::string("net: recv(): ") + std::strerror(errno));
     }
     if (n == 0) {

@@ -2,10 +2,19 @@
 //
 // The counterpart of net/server.hpp for drivers that want simple
 // call-and-response semantics: `dsml loadgen` opens one LineClient per
-// simulated connection, and the tests use it to talk to an in-process
-// Server. One request line out (terminator appended), one response line
-// back (terminator stripped); responses are buffered internally so
-// pipelined servers and short reads are handled transparently.
+// simulated connection, the fleet coordinator opens one per worker shard,
+// and the tests use it to talk to an in-process Server. One request line out
+// (terminator appended), one response line back (terminator stripped);
+// responses are buffered internally so pipelined servers and short reads are
+// handled transparently.
+//
+// Deadlines: by default every call blocks indefinitely — fine for tests, but
+// a hung server then wedges the caller forever. ClientOptions adds a connect
+// deadline (non-blocking connect + poll) and a per-call I/O deadline
+// (SO_RCVTIMEO/SO_SNDTIMEO, so the kernel enforces it with no extra
+// syscalls); an expired deadline surfaces as IoError naming the timeout.
+// `dsml loadgen --timeout-ms` and the fleet coordinator's per-request
+// deadlines are both this mechanism.
 #pragma once
 
 #include <cstdint>
@@ -16,20 +25,30 @@
 
 namespace dsml::net {
 
+struct ClientOptions {
+  /// Connect deadline in milliseconds; 0 = block until the kernel gives up.
+  std::uint32_t connect_timeout_ms = 0;
+  /// Per-send/recv deadline in milliseconds; 0 = block indefinitely.
+  std::uint32_t io_timeout_ms = 0;
+};
+
 class LineClient {
  public:
-  /// Connects immediately; throws IoError if the server is unreachable.
-  LineClient(const std::string& host, std::uint16_t port);
+  /// Connects immediately; throws IoError if the server is unreachable (or
+  /// the connect deadline expires).
+  LineClient(const std::string& host, std::uint16_t port,
+             ClientOptions options = {});
 
   LineClient(const LineClient&) = delete;
   LineClient& operator=(const LineClient&) = delete;
 
   /// Sends `line` plus a '\n' terminator. Throws IoError on a broken
-  /// connection.
+  /// connection or an expired I/O deadline.
   void send_line(std::string_view line);
 
   /// Blocks for the next '\n'-terminated line and returns it without the
-  /// terminator. Throws IoError on EOF or a broken connection.
+  /// terminator. Throws IoError on EOF, a broken connection, or an expired
+  /// I/O deadline.
   std::string recv_line();
 
   /// send_line + recv_line.
@@ -41,6 +60,7 @@ class LineClient {
  private:
   Fd fd_;
   std::string buf_;
+  std::uint32_t io_timeout_ms_ = 0;
 };
 
 }  // namespace dsml::net

@@ -30,6 +30,7 @@ struct NetMetrics {
   metrics::Counter& read_errors = metrics::counter("net.read_errors");
   metrics::Counter& write_errors = metrics::counter("net.write_errors");
   metrics::Counter& overlong = metrics::counter("net.overlong_lines");
+  metrics::Counter& idle_closed = metrics::counter("net.idle_closed");
 };
 
 NetMetrics& net_metrics() {
@@ -60,6 +61,9 @@ struct Server::Connection {
   std::string out_buf;
   std::size_t out_off = 0;  ///< bytes of out_buf already written
   State state = State::kReading;
+  /// Last-activity stamp for the idle timeout; restarted on every
+  /// successful read or write.
+  trace::Stopwatch last_activity;
 
   std::size_t pending() const noexcept { return out_buf.size() - out_off; }
 
@@ -81,8 +85,12 @@ Server::Server(ServerOptions options, RequestHandler handler)
                "net::Server: max_connections must be >= 1");
   DSML_REQUIRE(options_.max_request_bytes >= 1,
                "net::Server: max_request_bytes must be >= 1");
-  listen_fd_ =
-      listen_tcp(options_.bind_address, options_.port, options_.backlog);
+  if (options_.adopted_fd >= 0) {
+    listen_fd_.reset(options_.adopted_fd);
+  } else {
+    listen_fd_ =
+        listen_tcp(options_.bind_address, options_.port, options_.backlog);
+  }
   set_nonblocking(listen_fd_);
   port_ = local_port(listen_fd_);
 
@@ -254,6 +262,7 @@ void Server::read_ready(Connection& c) {
     return;
   }
   net_metrics().bytes_read.add(static_cast<std::uint64_t>(n));
+  c.last_activity.restart();
   c.in_buf.append(buf, static_cast<std::size_t>(n));
   dispatch_lines(c);
   // Optimistic flush: most responses fit the socket buffer, so answering
@@ -288,6 +297,7 @@ void Server::write_ready(Connection& c) {
       return;
     }
     net_metrics().bytes_written.add(static_cast<std::uint64_t>(n));
+    c.last_activity.restart();
     c.out_off += static_cast<std::size_t>(n);
   }
   c.out_buf.clear();
@@ -323,7 +333,20 @@ void Server::run() {
     // connection has no revents yet and must wait for the next round.
     const std::size_t polled = connections_.size();
 
-    const int ready = ::poll(fds.data(), fds.size(), -1);
+    // With an idle timeout armed, poll must wake by the earliest deadline;
+    // otherwise a quiet fleet would never sweep its idle connections.
+    int poll_timeout = -1;
+    if (options_.idle_timeout_ms > 0 && !connections_.empty()) {
+      const double idle_ms = static_cast<double>(options_.idle_timeout_ms);
+      double soonest = idle_ms;
+      for (const auto& c : connections_) {
+        const double remaining = idle_ms - c->last_activity.seconds() * 1e3;
+        if (remaining < soonest) soonest = remaining;
+      }
+      poll_timeout = soonest < 1.0 ? 1 : static_cast<int>(soonest) + 1;
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), poll_timeout);
     if (ready < 0) {
       if (errno == EINTR) continue;
       throw IoError(std::string("net: poll(): ") + std::strerror(errno));
@@ -343,6 +366,24 @@ void Server::run() {
       // POLLHUP can still carry buffered bytes; recv() reports the EOF.
       if ((revents & (POLLIN | POLLHUP)) != 0 && c.wants_read(options_)) {
         read_ready(c);
+      }
+    }
+
+    if (options_.idle_timeout_ms > 0) {
+      const double idle_ms = static_cast<double>(options_.idle_timeout_ms);
+      std::uint64_t idled = 0;
+      for (auto& c : connections_) {
+        if (c->state == Connection::State::kClosing) continue;
+        if (c->last_activity.seconds() * 1e3 < idle_ms) continue;
+        c->state = Connection::State::kClosing;
+        ++idled;
+      }
+      if (idled > 0) {
+        {
+          std::lock_guard<std::mutex> lock(summary_mutex_);
+          summary_.idle_closed += idled;
+        }
+        net_metrics().idle_closed.add(idled);
       }
     }
 

@@ -66,6 +66,14 @@ struct ServerOptions {
   std::uint16_t port = 0;  ///< 0 = ephemeral; read back via Server::port()
   int backlog = 128;
 
+  /// Adopt an already-listening socket instead of binding a new one
+  /// (bind_address/port/backlog are then ignored). The fleet supervisor
+  /// binds the listener itself and passes it to forked workers: the port
+  /// survives a worker crash, so clients queue in the kernel backlog while
+  /// the replacement respawns instead of getting connection-refused. The
+  /// Server takes ownership of the descriptor.
+  int adopted_fd = -1;
+
   /// Open-connection admission bound.
   std::size_t max_connections = 64;
 
@@ -79,6 +87,12 @@ struct ServerOptions {
 
   /// Pending-output bound past which a connection stops being read.
   std::size_t max_write_buffer_bytes = 8u << 20;
+
+  /// Close connections with no read/write activity for this long; 0 keeps
+  /// the historical block-forever behaviour. Without it an idle client holds
+  /// a max_connections slot indefinitely — a fleet health-checker that pings
+  /// and forgets would eventually starve the worker of slots.
+  std::uint32_t idle_timeout_ms = 0;
 };
 
 struct ServerSummary {
@@ -90,6 +104,7 @@ struct ServerSummary {
   std::uint64_t read_errors = 0;    ///< connections dropped on read failure
   std::uint64_t write_errors = 0;   ///< connections dropped on write failure
   std::uint64_t overlong = 0;       ///< request lines over the byte bound
+  std::uint64_t idle_closed = 0;    ///< connections closed by idle timeout
 };
 
 class Server {

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -65,7 +66,54 @@ std::uint16_t local_port(const Fd& fd) {
   return ntohs(addr.sin_port);
 }
 
-Fd connect_tcp(const std::string& host, std::uint16_t port) {
+namespace {
+
+/// One non-blocking connect attempt against a resolved address, polled up to
+/// `timeout_ms`. Returns an invalid Fd with errno set on failure; errno is
+/// ETIMEDOUT when the deadline expired.
+Fd connect_one_timed(const addrinfo* ai, std::uint32_t timeout_ms) {
+  Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+  if (!fd.valid()) return Fd();
+  try {
+    set_nonblocking(fd);
+  } catch (const IoError&) {
+    errno = EINVAL;
+    return Fd();
+  }
+  if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+    if (errno != EINPROGRESS) return Fd();
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    for (;;) {
+      const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) return Fd();
+      if (ready == 0) {
+        errno = ETIMEDOUT;
+        return Fd();
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Fd();
+    }
+    if (err != 0) {
+      errno = err;
+      return Fd();
+    }
+  }
+  try {
+    set_blocking(fd);
+  } catch (const IoError&) {
+    errno = EINVAL;
+    return Fd();
+  }
+  return fd;
+}
+
+Fd connect_tcp_impl(const std::string& host, std::uint16_t port,
+                    std::uint32_t timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -81,6 +129,12 @@ Fd connect_tcp(const std::string& host, std::uint16_t port) {
   Fd fd;
   int last_errno = 0;
   for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    if (timeout_ms > 0) {
+      fd = connect_one_timed(ai, timeout_ms);
+      if (fd.valid()) break;
+      last_errno = errno;
+      continue;
+    }
     fd.reset(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
     if (!fd.valid()) {
       last_errno = errno;
@@ -92,6 +146,11 @@ Fd connect_tcp(const std::string& host, std::uint16_t port) {
   }
   ::freeaddrinfo(results);
   if (!fd.valid()) {
+    if (last_errno == ETIMEDOUT && timeout_ms > 0) {
+      throw IoError("net: connect(" + host + ":" + service +
+                    "): timed out after " + std::to_string(timeout_ms) +
+                    " ms");
+    }
     errno = last_errno;
     throw IoError(errno_message("net: connect(" + host + ":" + service + ")"));
   }
@@ -102,11 +161,30 @@ Fd connect_tcp(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
+}  // namespace
+
+Fd connect_tcp(const std::string& host, std::uint16_t port) {
+  return connect_tcp_impl(host, port, /*timeout_ms=*/0);
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port,
+               std::uint32_t timeout_ms) {
+  return connect_tcp_impl(host, port, timeout_ms);
+}
+
 void set_nonblocking(const Fd& fd) {
   const int flags = ::fcntl(fd.get(), F_GETFL, 0);
   if (flags < 0 ||
       ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
     throw IoError(errno_message("net: fcntl(O_NONBLOCK)"));
+  }
+}
+
+void set_blocking(const Fd& fd) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 ||
+      ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    throw IoError(errno_message("net: fcntl(~O_NONBLOCK)"));
   }
 }
 

@@ -71,7 +71,20 @@ std::uint16_t local_port(const Fd& fd);
 /// Throws IoError.
 Fd connect_tcp(const std::string& host, std::uint16_t port);
 
+/// connect_tcp with a deadline: the connect is attempted non-blocking and
+/// polled for up to `timeout_ms` milliseconds (0 = block indefinitely, same
+/// as the two-argument overload). The returned socket is switched back to
+/// blocking mode. A deadline that expires — a peer that neither accepts nor
+/// refuses, e.g. a full backlog or a black-holed host — throws IoError
+/// naming the timeout, so fleet health-checkers never wedge on a dead
+/// worker. Throws IoError on any other failure.
+Fd connect_tcp(const std::string& host, std::uint16_t port,
+               std::uint32_t timeout_ms);
+
 /// Switches `fd` to non-blocking mode. Throws IoError.
 void set_nonblocking(const Fd& fd);
+
+/// Switches `fd` back to blocking mode. Throws IoError.
+void set_blocking(const Fd& fd);
 
 }  // namespace dsml::net

@@ -6,7 +6,11 @@
 // and the fault label (failpoint arming).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -203,6 +207,94 @@ TEST(NetServer, StopUnblocksARunningServerFromAnotherThread) {
   server.request_stop();
   runner.join();  // run() must return promptly even with a live connection
   EXPECT_GE(server.summary().closed, 1u);
+}
+
+TEST(NetServer, IdleTimeoutClosesOnlyIdleConnections) {
+  ServerOptions options = loopback();
+  options.idle_timeout_ms = 150;
+  Server server(options, echo_handler);
+  ServerRunner runner(server);
+  LineClient idle("127.0.0.1", server.port());
+  EXPECT_EQ(idle.request("warm"), "warm!");  // definitely admitted
+  // Keep a second connection active across the idle deadline: activity
+  // resets its clock, so only the silent one is reaped.
+  LineClient active("127.0.0.1", server.port());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(active.request("tick"), "tick!");
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  }
+  EXPECT_THROW(idle.recv_line(), IoError);  // idle peer was closed
+  EXPECT_EQ(active.request("still"), "still!");
+  server.request_stop();
+  EXPECT_EQ(server.summary().idle_closed, 1u);
+}
+
+TEST(NetClient, ReadDeadlineSurfacesAsIoErrorNotAHang) {
+  // A server that never answers: the blank-line contract returns no bytes.
+  Server server(loopback(), [](std::string_view) { return std::string(); });
+  ServerRunner runner(server);
+  LineClient client("127.0.0.1", server.port(), ClientOptions{0, 200});
+  client.send_line("anyone home?");
+  try {
+    client.recv_line();
+    FAIL() << "expected a deadline IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetClient, ConnectDeadlineStillConnectsToALiveServer) {
+  Server server(loopback(), echo_handler);
+  ServerRunner runner(server);
+  LineClient client("127.0.0.1", server.port(), ClientOptions{1000, 1000});
+  EXPECT_EQ(client.request("deadline"), "deadline!");
+}
+
+TEST(NetClient, ConnectFailsLoudlyWhenNobodyAccepts) {
+  // A listener that never accepts, with a minimal backlog: once the kernel
+  // queue is full, further connects either time out (SYNs dropped) or are
+  // refused — both must surface as IoError, never an indefinite hang.
+  Fd listener = listen_tcp("127.0.0.1", 0, /*backlog=*/1);
+  const std::uint16_t port = local_port(listener);
+  std::vector<std::unique_ptr<LineClient>> fillers;
+  bool threw = false;
+  for (int i = 0; i < 8 && !threw; ++i) {
+    try {
+      fillers.push_back(std::make_unique<LineClient>(
+          "127.0.0.1", port, ClientOptions{250, 250}));
+    } catch (const IoError&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(NetClient, ServerDeathMidResponseIsAFramingError) {
+  // A raw peer that answers half a line and drops dead: the client must
+  // report the truncated frame, not return partial bytes.
+  Fd listener = listen_tcp("127.0.0.1", 0, /*backlog=*/4);
+  const std::uint16_t port = local_port(listener);
+  std::thread peer([&] {
+    Fd conn(::accept(listener.get(), nullptr, nullptr));
+    ASSERT_GE(conn.get(), 0);
+    char buf[256];
+    (void)::recv(conn.get(), buf, sizeof(buf), 0);
+    const char partial[] = "{\"ok\":tru";  // no terminating newline
+    (void)::send(conn.get(), partial, sizeof(partial) - 1, 0);
+    // conn closes here: mid-response death.
+  });
+  LineClient client("127.0.0.1", port);
+  client.send_line("hello?");
+  try {
+    client.recv_line();
+    FAIL() << "expected a truncated-frame IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("before a full response"),
+              std::string::npos)
+        << e.what();
+  }
+  peer.join();
 }
 
 // ------------------------------------------------------------ failpoints --

@@ -1,8 +1,12 @@
 #include "cli.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -10,6 +14,7 @@
 #include <optional>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "bench_ml.hpp"
 #include "common/atomic_io.hpp"
@@ -26,6 +31,9 @@
 #include "dse/sampled.hpp"
 #include "dse/sweep.hpp"
 #include "engine/design_space.hpp"
+#include "fleet/coordinator.hpp"
+#include "fleet/supervisor.hpp"
+#include "fleet/worker.hpp"
 #include "ml/fit_score.hpp"
 #include "engine/registry.hpp"
 #include "engine/serve.hpp"
@@ -358,6 +366,37 @@ int cmd_predict(const Options& opt, std::ostream& out) {
   return 0;
 }
 
+/// Parses "--models name=path[,...]", validating every spec — including
+/// duplicate names — before loading any artifact (`--models a=x,a=y` used
+/// to silently re-register `a`, leaving whichever file parsed last serving
+/// all of a's traffic), then loads each through the registry. Returns the
+/// names in spec order.
+std::vector<std::string> load_model_specs(engine::ModelRegistry& registry,
+                                          const std::string& models,
+                                          const std::string& command) {
+  std::vector<std::pair<std::string, std::string>> specs;
+  std::set<std::string> seen;
+  for (const std::string& spec : parse_list(models)) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+      throw InvalidArgument(command + " --models entry '" + spec +
+                            "' must be name=path");
+    }
+    std::string name = spec.substr(0, eq);
+    if (!seen.insert(name).second) {
+      throw InvalidArgument(command + " --models names model '" + name +
+                            "' more than once");
+    }
+    specs.emplace_back(std::move(name), spec.substr(eq + 1));
+  }
+  std::vector<std::string> names;
+  for (const auto& [name, path] : specs) {
+    registry.load_file(name, path, engine::design_space_schema());
+    names.push_back(name);
+  }
+  return names;
+}
+
 /// The server a SIGINT/SIGTERM should stop. A plain atomic pointer because
 /// signal handlers may only touch lock-free state, and request_stop() is
 /// async-signal-safe by design (atomic store + self-pipe write).
@@ -384,6 +423,8 @@ engine::ServeSummary serve_listen(const Options& opt,
   if (options.max_connections == 0) {
     throw InvalidArgument("--max-conns must be >= 1");
   }
+  options.idle_timeout_ms = static_cast<std::uint32_t>(
+      parse_count_flag(opt, "idle-timeout-ms", "0"));
   net::Server server(options,
                      [&](std::string_view line) { return handler.handle(line); });
   err << "listening on " << options.bind_address << ":" << server.port()
@@ -415,30 +456,9 @@ int cmd_serve(const Options& opt, std::istream& in, std::ostream& out,
   if (!models) {
     throw InvalidArgument("serve requires --models name=path[,name=path...]");
   }
-  // Validate every spec — including duplicate names — before loading any
-  // artifact: `--models a=x,a=y` used to silently re-register `a`, leaving
-  // whichever file parsed last serving all of a's traffic.
-  std::vector<std::pair<std::string, std::string>> specs;
-  std::set<std::string> seen;
-  for (const std::string& spec : parse_list(*models)) {
-    const std::size_t eq = spec.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
-      throw InvalidArgument("serve --models entry '" + spec +
-                            "' must be name=path");
-    }
-    std::string name = spec.substr(0, eq);
-    if (!seen.insert(name).second) {
-      throw InvalidArgument("serve --models names model '" + name +
-                            "' more than once");
-    }
-    specs.emplace_back(std::move(name), spec.substr(eq + 1));
-  }
   engine::ModelRegistry& registry = engine::ModelRegistry::global();
-  std::vector<std::string> names;
-  for (const auto& [name, path] : specs) {
-    registry.load_file(name, path, engine::design_space_schema());
-    names.push_back(name);
-  }
+  const std::vector<std::string> names =
+      load_model_specs(registry, *models, "serve");
   engine::ServeOptions options;
   options.default_model =
       opt.get_or("default", names.size() == 1 ? names.front() : "");
@@ -459,6 +479,189 @@ int cmd_serve(const Options& opt, std::istream& in, std::ostream& out,
       << " row(s), " << summary.errors << " error(s), " << summary.partial
       << " partial\n";
   return 0;
+}
+
+/// The worker a SIGINT/SIGTERM should stop (same discipline as
+/// g_signal_server; Worker::request_stop is async-signal-safe).
+std::atomic<fleet::Worker*> g_signal_worker{nullptr};
+
+extern "C" void worker_signal_handler(int) {
+  if (fleet::Worker* worker = g_signal_worker.load()) worker->request_stop();
+}
+
+/// `dsml worker --listen P | --listen-fd N`: one fleet worker process —
+/// fleet control (ping / sweep shards / model snapshots / shutdown) and the
+/// ordinary serve protocol multiplexed on one port (docs/FLEET.md).
+/// --listen-fd adopts an inherited listening socket: the supervisor binds
+/// it so the port survives this process crashing.
+int cmd_worker(const Options& opt, std::ostream& err) {
+  fleet::WorkerOptions options;
+  options.server.bind_address = opt.get_or("bind", "127.0.0.1");
+  const std::size_t port = parse_count_flag(opt, "listen", "0");
+  if (port > 65535) {
+    throw InvalidArgument("--listen: port must be 0..65535, got " +
+                          std::to_string(port));
+  }
+  options.server.port = static_cast<std::uint16_t>(port);
+  if (opt.get("listen-fd")) {
+    options.server.adopted_fd =
+        static_cast<int>(parse_count_flag(opt, "listen-fd", "0"));
+  }
+  options.server.max_connections = parse_count_flag(opt, "max-conns", "64");
+  if (options.server.max_connections == 0) {
+    throw InvalidArgument("--max-conns must be >= 1");
+  }
+  options.server.idle_timeout_ms = static_cast<std::uint32_t>(
+      parse_count_flag(opt, "idle-timeout-ms", "0"));
+  options.stall_ms = static_cast<std::uint32_t>(
+      parse_count_flag(opt, "stall-ms", "100"));
+
+  engine::ModelRegistry& registry = engine::ModelRegistry::global();
+  std::vector<std::string> names;
+  if (const auto models = opt.get("models")) {
+    names = load_model_specs(registry, *models, "worker");
+  }
+
+  fleet::Worker worker(registry, options);
+  err << "fleet worker pid " << ::getpid() << " listening on "
+      << options.server.bind_address << ":" << worker.port();
+  if (!names.empty()) err << " serving " << strings::join(names, ", ");
+  err << "\n";
+  err.flush();
+
+  g_signal_worker.store(&worker);
+  const auto prev_int = std::signal(SIGINT, worker_signal_handler);
+  const auto prev_term = std::signal(SIGTERM, worker_signal_handler);
+  worker.run();
+  std::signal(SIGINT, prev_int);
+  std::signal(SIGTERM, prev_term);
+  g_signal_worker.store(nullptr);
+
+  const fleet::WorkerSummary summary = worker.summary();
+  err << "worker done: " << summary.pings << " ping(s), " << summary.shards
+      << " shard(s), " << summary.model_loads << " model load(s), "
+      << summary.errors << " error(s); " << summary.server.closed
+      << " connection(s) closed, " << summary.server.idle_closed
+      << " idle-closed\n";
+  return 0;
+}
+
+fleet::CoordinatorOptions coordinator_options_from(const Options& opt) {
+  fleet::CoordinatorOptions options;
+  options.sweep = sweep_options_from(opt);
+  options.connect_timeout_ms = static_cast<std::uint32_t>(
+      parse_count_flag(opt, "connect-timeout-ms", "2000"));
+  options.ping_timeout_ms = options.connect_timeout_ms;
+  options.request_timeout_ms = static_cast<std::uint32_t>(
+      parse_count_flag(opt, "timeout-ms", "120000"));
+  options.max_rounds = parse_count_flag(opt, "retries", "3");
+  return options;
+}
+
+/// Shared tail of `dsml dse` / `dsml fleet`: print the merged table
+/// summary, optionally write the dataset CSV (byte-identical to
+/// `dsml sweep --csv` of the same app/options), report evictions and
+/// tolerated failures.
+void report_fleet_sweep(const std::string& app,
+                        const fleet::FleetSweepResult& result,
+                        const Options& opt, std::ostream& out) {
+  out << "app " << app << ": " << result.sweep.cycles.size()
+      << " configurations from " << result.workers_used << " worker(s) in "
+      << result.rounds << " round(s)\n";
+  if (const auto path = opt.get("csv")) {
+    const data::Dataset ds = dse::sweep_dataset(result.sweep);
+    csv::write_file(*path, ds.to_csv());
+    out << "wrote " << ds.n_rows() << " rows to " << *path << "\n";
+  }
+  if (!result.evicted.empty()) {
+    out << "evicted " << result.evicted.size() << " worker(s): "
+        << strings::join(result.evicted, ", ") << "\n";
+  }
+  print_failures(result.failures, out);
+}
+
+/// `dsml dse --app A --workers H:P,...`: coordinator mode — shard the full
+/// design space across an already-running worker fleet, gather, merge.
+/// Exits non-zero (StateError) if coverage cannot be completed, never with
+/// a silently partial table.
+int cmd_dse(const Options& opt, std::ostream& out) {
+  const std::string app = opt.get_or("app", "mcf");
+  const auto workers = opt.get("workers");
+  if (!workers) {
+    throw InvalidArgument("dse requires --workers host:port[,host:port...]");
+  }
+  std::vector<fleet::Endpoint> endpoints;
+  for (const std::string& spec : parse_list(*workers)) {
+    endpoints.push_back(fleet::parse_endpoint(spec));
+  }
+  const fleet::FleetSweepResult result =
+      fleet::coordinator_sweep(app, endpoints, coordinator_options_from(opt));
+  report_fleet_sweep(app, result, opt, out);
+  return 0;
+}
+
+/// `dsml fleet --app A --workers N`: supervisor mode — fork/exec N `dsml
+/// worker --listen-fd` children (respawning crashed ones with capped
+/// exponential backoff), run the sharded sweep against them, then stop the
+/// fleet. One command, end to end, for the distributed-DSE smoke test.
+int cmd_fleet(const Options& opt, std::ostream& out, std::ostream& err) {
+  const std::string app = opt.get_or("app", "mcf");
+  fleet::SupervisorOptions sup;
+  sup.workers = parse_count_flag(opt, "workers", "3");
+  sup.bind_address = opt.get_or("bind", "127.0.0.1");
+  const std::size_t port_base = parse_count_flag(opt, "port-base", "0");
+  if (port_base > 65535) {
+    throw InvalidArgument("--port-base: port must be 0..65535");
+  }
+  sup.port_base = static_cast<std::uint16_t>(port_base);
+  sup.max_respawns = parse_count_flag(opt, "max-respawns", "5");
+  // Re-exec this very binary as the workers. /proc/self/exe rather than
+  // argv[0]: the smoke test runs from CMake build trees where argv[0] may
+  // be a relative path the children could not resolve.
+  sup.exe = std::filesystem::read_symlink("/proc/self/exe").string();
+  sup.worker_args = {"worker"};
+  if (const auto models = opt.get("models")) {
+    sup.worker_args.push_back("--models");
+    sup.worker_args.push_back(*models);
+  }
+
+  fleet::Supervisor supervisor(sup);
+  supervisor.start();
+  for (const std::string& event : supervisor.drain_events()) {
+    err << "fleet: " << event << "\n";
+  }
+  err.flush();
+
+  // The monitor thread drives eviction/respawn while the main thread runs
+  // the coordinator: a worker killed mid-sweep is respawned concurrently,
+  // so the coordinator's next round finds a live endpoint again.
+  std::atomic<bool> monitor_stop{false};
+  std::thread monitor([&] {
+    while (!monitor_stop.load()) {
+      supervisor.tick();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  int rc = 0;
+  try {
+    const fleet::FleetSweepResult result = fleet::coordinator_sweep(
+        app, supervisor.endpoints(), coordinator_options_from(opt));
+    report_fleet_sweep(app, result, opt, out);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    rc = 1;
+  }
+  monitor_stop.store(true);
+  monitor.join();
+  for (const std::string& event : supervisor.drain_events()) {
+    err << "fleet: " << event << "\n";
+  }
+  supervisor.stop();
+  const fleet::SupervisorSummary summary = supervisor.summary();
+  err << "fleet: " << summary.spawns << " spawn(s), " << summary.respawns
+      << " respawn(s), " << summary.evictions << " eviction(s)\n";
+  return rc;
 }
 
 /// `dsml loadgen --connect host:port`: drives a running `dsml serve
@@ -492,6 +695,8 @@ int cmd_loadgen(const Options& opt, std::ostream& out, std::ostream& err) {
   options.connections = parse_count_flag(opt, "connections", "8");
   options.requests = parse_count_flag(opt, "requests", "32");
   options.rows = parse_count_flag(opt, "rows", "4");
+  options.timeout_ms = static_cast<std::uint32_t>(
+      parse_count_flag(opt, "timeout-ms", "0"));
   options.model = opt.get_or("model", "");
   options.json_path = opt.get_or("json", "");
   options.check_path = opt.get_or("check", "");
@@ -553,8 +758,25 @@ std::string usage() {
       "                                    JSON-lines requests on stdin ->\n"
       "                                    predictions on stdout, or over TCP\n"
       "                                    with --listen (see docs/SERVING.md)\n"
+      "  worker  --listen P | --listen-fd N  [--bind A] [--models N=F,...]\n"
+      "          [--max-conns N] [--idle-timeout-ms N] [--stall-ms N]\n"
+      "                                    fleet worker: serve protocol +\n"
+      "                                    fleet control (ping, sweep shards,\n"
+      "                                    model snapshots) on one port\n"
+      "                                    (see docs/FLEET.md)\n"
+      "  dse     --app A --workers H:P[,H:P...] [--full N --interval N\n"
+      "          --clusters K] [--csv F] [--timeout-ms N] [--retries N]\n"
+      "          [--connect-timeout-ms N]\n"
+      "                                    shard the design-space sweep across\n"
+      "                                    a worker fleet; fault-tolerant merge\n"
+      "                                    (complete table or loud error)\n"
+      "  fleet   --app A [--workers N] [--port-base P] [--models N=F,...]\n"
+      "          [--max-respawns N] [--csv F]\n"
+      "                                    supervise a local worker fleet\n"
+      "                                    (crash -> respawn with backoff) and\n"
+      "                                    run the sharded sweep against it\n"
       "  loadgen --connect H:P [--connections N] [--requests M] [--rows R]\n"
-      "          [--model N] [--json F] [--check F]\n"
+      "          [--model N] [--json F] [--check F] [--timeout-ms N]\n"
       "                                    drive a --listen server, report\n"
       "                                    latency percentiles + rows/sec\n"
       "  bench   [--json F] [--check F] [--fast 1]   ML perf bench + JSON report\n"
@@ -596,6 +818,9 @@ int dispatch(const std::vector<std::string>& args, std::istream& in,
   if (cmd == "train") return cmd_train(opt, out);
   if (cmd == "predict") return cmd_predict(opt, out);
   if (cmd == "serve") return cmd_serve(opt, in, out, err);
+  if (cmd == "worker") return cmd_worker(opt, err);
+  if (cmd == "dse") return cmd_dse(opt, out);
+  if (cmd == "fleet") return cmd_fleet(opt, out, err);
   if (cmd == "loadgen") return cmd_loadgen(opt, out, err);
   if (cmd == "bench") return cmd_bench(opt, out, err);
   err << "unknown command '" << cmd << "'\n" << usage();

@@ -67,10 +67,12 @@ struct WorkerResult {
 /// Connects with retries: in CI the server is started in the background
 /// and may not be accepting yet when loadgen launches.
 net::LineClient connect_with_retry(const std::string& host,
-                                   std::uint16_t port) {
+                                   std::uint16_t port,
+                                   std::uint32_t timeout_ms) {
+  const net::ClientOptions client_options{timeout_ms, timeout_ms};
   for (int attempt = 0;; ++attempt) {
     try {
-      return net::LineClient(host, port);
+      return net::LineClient(host, port, client_options);
     } catch (const IoError&) {
       if (attempt >= 50) throw;
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -82,7 +84,8 @@ void drive_connection(const Options& options, const engine::Schema& schema,
                       const data::Dataset& space, std::size_t index,
                       WorkerResult& result) {
   try {
-    net::LineClient client = connect_with_retry(options.host, options.port);
+    net::LineClient client =
+        connect_with_retry(options.host, options.port, options.timeout_ms);
     for (std::size_t r = 0; r < options.requests; ++r) {
       const std::size_t start_row =
           (index * options.requests + r) * options.rows;

@@ -29,6 +29,12 @@ struct Options {
   /// "model" field for every request; "" relies on the server default.
   std::string model;
 
+  /// Connect/read/write deadline per socket operation in milliseconds;
+  /// 0 blocks forever (historical behaviour). With a deadline, a wedged or
+  /// mid-response-dead server surfaces as a counted request error instead
+  /// of hanging the run.
+  std::uint32_t timeout_ms = 0;
+
   /// Write the JSON report here ("" = text summary only).
   std::string json_path;
   /// Compare deterministic fields against this committed baseline.
