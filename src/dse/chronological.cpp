@@ -1,13 +1,12 @@
 #include "dse/chronological.hpp"
 
-#include <algorithm>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
-#include "common/metrics.hpp"
 #include "common/trace.hpp"
-#include "ml/fit_score.hpp"
+#include "dse/campaign.hpp"
 
 namespace dsml::dse {
 
@@ -30,6 +29,13 @@ std::vector<std::string> ChronologicalResult::best_names(
   return names;
 }
 
+// A thin Campaign configuration: one round whose "sample" is every 2005
+// announcement (FullSampler), scored against the 2006 test year, no
+// cross-validation estimate. One flaky family (NN-P/NN-E prune aggressively;
+// LR stepwise can hit singular systems on collinear announcements) must not
+// kill the Table 2 row for the eight others — the campaign's cell-failure
+// capture preserves exactly that. Output is byte-identical to the
+// pre-campaign driver (pinned by tests/data/dse/chrono_golden.txt).
 ChronologicalResult run_chronological(specdata::Family family,
                                       const ChronologicalOptions& options) {
   trace::Span sweep_span(
@@ -37,7 +43,6 @@ ChronologicalResult run_chronological(specdata::Family family,
         return std::string("run_chronological ") + specdata::to_string(family);
       },
       "dse");
-  static metrics::Counter& evals = metrics::counter("dse.model_evals");
   ChronologicalResult result;
   result.family = family;
 
@@ -54,44 +59,44 @@ ChronologicalResult run_chronological(specdata::Family family,
              "NN-D", "NN-M", "NN-P", "NN-E"};
   }
 
+  FullSampler sampler;
+  DatasetEvaluator evaluator(train);
+  CampaignConfig config;
+  config.app = specdata::to_string(family);
+  config.space = &train;
+  config.score = &test;
+  config.sampler = &sampler;
+  config.evaluator = &evaluator;
+  config.rounds = {SamplerRound{0.0, 0, "2005", 0}};
+  config.model_names = names;
+  config.zoo = options.zoo;
+  config.estimate = false;
+  config.eval_failpoint = "dse.chrono.eval";
+  config.label_cells = false;  // Table 2 failure records use bare model names
+  config.parallel_cells = false;  // keep `nth:` failpoints deterministic
+
+  CampaignResult campaign = Campaign(config).run();
+  result.failures = std::move(campaign.failures);
+
   double best_nn = std::numeric_limits<double>::infinity();
   double best_lr = std::numeric_limits<double>::infinity();
-  for (const std::string& name : names) {
-    trace::Span eval_span([&] { return "evaluate " + name; }, "dse");
-    evals.add();
-    // One flaky family (NN-P/NN-E prune aggressively; LR stepwise can hit
-    // singular systems on collinear announcements) must not kill the Table 2
-    // row for the eight others: fit_and_score captures the cell failure and
-    // the loop records it and moves on.
-    engine::FitScoreRequest request;
-    try {
-      request.model = ml::make_model(name, options.zoo);
-    } catch (const std::exception& e) {
-      result.failures.push_back(FailureRecord{name, error_kind(e), e.what()});
-      continue;
-    }
-    request.train = &train;
-    request.score = &test;
-    request.failpoint = "dse.chrono.eval";
-    engine::FitScoreResult cell = engine::fit_and_score(request);
-    if (!cell.ok()) {
-      result.failures.push_back(std::move(*cell.failure));
-      continue;
-    }
-    ChronoModelResult mr;
-    mr.model = name;
-    mr.fit_seconds = cell.fit_seconds;
-    mr.error = ml::summarize_errors(cell.predictions, test.target());
-    result.models.push_back(mr);
+  for (CampaignRound& round : campaign.rounds) {
+    for (CampaignCell& cell : round.cells) {
+      ChronoModelResult mr;
+      mr.model = cell.model;
+      mr.fit_seconds = cell.fit_seconds;
+      mr.error = ml::summarize_errors(cell.predictions, test.target());
+      result.models.push_back(mr);
 
-    const bool is_nn = name.rfind("NN", 0) == 0;
-    if (is_nn && mr.error.mean < best_nn) {
-      best_nn = mr.error.mean;
-      result.nn_importance = cell.model->importance();
-    }
-    if (!is_nn && mr.error.mean < best_lr) {
-      best_lr = mr.error.mean;
-      result.lr_importance = cell.model->importance();
+      const bool is_nn = cell.model.rfind("NN", 0) == 0;
+      if (is_nn && mr.error.mean < best_nn) {
+        best_nn = mr.error.mean;
+        result.nn_importance = cell.fitted->importance();
+      }
+      if (!is_nn && mr.error.mean < best_lr) {
+        best_lr = mr.error.mean;
+        result.lr_importance = cell.fitted->importance();
+      }
     }
   }
   if (result.models.empty()) {

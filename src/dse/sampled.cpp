@@ -1,17 +1,13 @@
 #include "dse/sampled.hpp"
 
 #include <cmath>
-#include <limits>
-#include <optional>
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
-#include "common/metrics.hpp"
-#include "common/thread_pool.hpp"
 #include "common/trace.hpp"
-#include "data/split.hpp"
-#include "ml/fit_score.hpp"
-#include "ml/metrics.hpp"
+#include "dse/campaign.hpp"
 
 namespace dsml::dse {
 
@@ -24,6 +20,12 @@ const SampledRun& SampledDseResult::run(const std::string& model,
                         "'");
 }
 
+// A thin Campaign configuration: one rate-driven round per sampling rate
+// (fresh sample each, drawn from the shared per-app RNG stream), ground
+// truth sliced straight out of the full-space dataset, every cell estimated
+// by the §3.3 cross-validation and scored over the whole space. Tables,
+// failure records, and CLI output are byte-identical to the pre-campaign
+// driver (pinned by tests/data/dse/sampled_golden*.txt).
 SampledDseResult run_sampled_dse(const data::Dataset& full_space,
                                  const std::string& app,
                                  const SampledDseOptions& options) {
@@ -32,105 +34,51 @@ SampledDseResult run_sampled_dse(const data::Dataset& full_space,
                "run_sampled_dse: empty rate or model menu");
   trace::Span sweep_span(
       [&] { return "run_sampled_dse " + app; }, "dse");
-  static metrics::Counter& evals = metrics::counter("dse.model_evals");
+
+  RandomSampler sampler(options.sample_seed ^ std::hash<std::string>{}(app));
+  DatasetEvaluator evaluator(full_space);
+
+  CampaignConfig config;
+  config.app = app;
+  config.space = &full_space;
+  config.sampler = &sampler;
+  config.evaluator = &evaluator;
+  config.model_names = options.model_names;
+  config.zoo = options.zoo;
+  config.cv_repeats = options.cv_repeats;
+  config.sample_seed = options.sample_seed;
+  config.eval_failpoint = "dse.sampled.eval";
+  for (const double rate : options.sampling_rates) {
+    SamplerRound round;
+    round.rate = rate;
+    round.label = std::to_string(static_cast<int>(rate * 100.0 + 0.5)) + "%";
+    round.seed_salt = static_cast<std::uint64_t>(rate * 1000.0);
+    config.rounds.push_back(std::move(round));
+  }
+
+  CampaignResult campaign = Campaign(config).run();
+
   SampledDseResult result;
   result.app = app;
-
-  Rng sample_rng(options.sample_seed ^
-                 std::hash<std::string>{}(app));
-
-  for (double rate : options.sampling_rates) {
-    // One training sample per rate, shared by every model (as in the paper:
-    // the sample is the set of configurations actually simulated).
-    const std::vector<std::size_t> sample_idx = data::sample_fraction(
-        full_space.n_rows(), rate, sample_rng, /*min_rows=*/10);
-    const data::Dataset train = full_space.select_rows(sample_idx);
-
-    // Every model's evaluation (cross-validation estimate, fit on the
-    // sample, full-space prediction) is independent given the shared
-    // training sample, so the model loop fans out across the pool. Each
-    // iteration owns its models and seeds and writes only rate_runs[i];
-    // the Select reduction below stays serial so tie-breaking matches the
-    // historical menu order exactly.
-    // A cell whose evaluation throws is dropped (recorded as a failure)
-    // instead of killing the whole panel; tolerated fold failures from
-    // surviving cells are carried along for the summary.
-    struct EvalSlot {
-      std::optional<SampledRun> run;
-      std::vector<ml::FoldFailure> fold_failures;
-      std::optional<FailureRecord> failure;
-    };
-    const std::string rate_label =
-        std::to_string(static_cast<int>(rate * 100.0 + 0.5)) + "%";
-    std::vector<EvalSlot> slots(options.model_names.size());
-    parallel_for(0, options.model_names.size(), [&](std::size_t i) {
-      const std::string& model_name = options.model_names[i];
-      trace::Span eval_span([&] { return "evaluate " + model_name; }, "dse");
-      evals.add();
-      engine::FitScoreRequest request;
-      try {
-        request.model = ml::make_model(model_name, options.zoo);
-      } catch (const std::exception& e) {
-        slots[i].failure = FailureRecord{model_name + "@" + rate_label,
-                                         error_kind(e), e.what()};
-        return;
-      }
-      request.train = &train;
-      request.estimate = true;
-      request.validation.repeats = options.cv_repeats;
-      request.validation.seed =
-          options.sample_seed * 977 +
-          static_cast<std::uint64_t>(rate * 1000.0);
-      request.score = &full_space;
-      request.failpoint = "dse.sampled.eval";
-      engine::FitScoreResult cell = engine::fit_and_score(request);
-      if (!cell.ok()) {
-        slots[i].failure = FailureRecord{model_name + "@" + rate_label,
-                                         cell.failure->error_type,
-                                         cell.failure->message};
-        return;
-      }
-      slots[i].fold_failures = std::move(cell.estimate.failed);
-
+  for (CampaignRound& round : campaign.rounds) {
+    for (CampaignCell& cell : round.cells) {
       SampledRun run;
-      run.model = model_name;
-      run.rate = rate;
-      run.estimated_error_max = cell.estimate.maximum;
-      run.estimated_error_avg = cell.estimate.average;
-      run.true_error = ml::mape(cell.predictions, full_space.target());
+      run.model = cell.model;
+      run.rate = round.rate;
+      run.estimated_error_max = cell.estimated_error_max;
+      run.estimated_error_avg = cell.estimated_error_avg;
+      run.true_error = cell.true_error;
       run.fit_seconds = cell.fit_seconds;
-      slots[i].run = std::move(run);
-    });
-
-    double best_estimate = std::numeric_limits<double>::infinity();
-    SelectRun select_row;
-    select_row.rate = rate;
-    bool any_survivor = false;
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-      EvalSlot& slot = slots[i];
-      if (slot.failure.has_value()) {
-        result.failures.push_back(std::move(*slot.failure));
-        continue;
-      }
-      for (const ml::FoldFailure& f : slot.fold_failures) {
-        result.failures.push_back(FailureRecord{
-            options.model_names[i] + "@" + rate_label + " fold " +
-                std::to_string(f.fold),
-            f.error_type, f.message});
-      }
-      const SampledRun& run = *slot.run;
-      any_survivor = true;
-      if (run.estimated_error_max < best_estimate) {
-        best_estimate = run.estimated_error_max;
-        select_row.chosen_model = run.model;
-        select_row.estimated_error = run.estimated_error_max;
-        select_row.true_error = run.true_error;
-      }
-      result.runs.push_back(run);
+      result.runs.push_back(std::move(run));
     }
-    // The Select meta-row only exists where at least one model survived.
-    if (any_survivor) result.select.push_back(select_row);
+    if (round.has_select) {
+      result.select.push_back(SelectRun{round.select.rate,
+                                        round.select.chosen_model,
+                                        round.select.estimated_error,
+                                        round.select.true_error});
+    }
   }
+  result.failures = std::move(campaign.failures);
   if (result.runs.empty()) {
     throw TrainingError("run_sampled_dse", app,
                         "every model evaluation failed; first: " +

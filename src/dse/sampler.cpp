@@ -1,0 +1,236 @@
+#include "dse/sampler.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "common/error.hpp"
+#include "data/split.hpp"
+
+namespace dsml::dse {
+
+namespace {
+
+/// The not-yet-evaluated rows, ascending.
+std::vector<std::size_t> unevaluated_pool(const SamplerContext& ctx) {
+  std::vector<std::size_t> pool;
+  pool.reserve(ctx.space_rows - ctx.evaluated_count);
+  for (std::size_t i = 0; i < ctx.space_rows; ++i) {
+    if (!ctx.evaluated || !(*ctx.evaluated)[i]) pool.push_back(i);
+  }
+  return pool;
+}
+
+/// `count` uniform picks from `pool` without replacement, sorted ascending.
+std::vector<std::size_t> uniform_from_pool(const std::vector<std::size_t>& pool,
+                                           std::size_t count, Rng& rng) {
+  DSML_REQUIRE(count <= pool.size(),
+               "sampler: budget exceeds the unevaluated pool");
+  std::vector<std::size_t> picks =
+      rng.sample_without_replacement(pool.size(), count);
+  for (auto& p : picks) p = pool[p];
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
+/// Row-major min-max-normalized feature matrix of the candidate space
+/// (categoricals enter as level codes). Constant columns map to 0, so they
+/// never contribute to a distance.
+std::vector<double> normalized_features(const data::Dataset& space) {
+  const std::size_t rows = space.n_rows();
+  const std::size_t cols = space.n_features();
+  std::vector<double> matrix(rows * cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const data::Column& column = space.feature(c);
+    double lo = column.numeric_at(0);
+    double hi = lo;
+    for (std::size_t r = 1; r < rows; ++r) {
+      lo = std::min(lo, column.numeric_at(r));
+      hi = std::max(hi, column.numeric_at(r));
+    }
+    const double span = hi - lo;
+    for (std::size_t r = 0; r < rows; ++r) {
+      matrix[r * cols + c] =
+          span > 0.0 ? (column.numeric_at(r) - lo) / span : 0.0;
+    }
+  }
+  return matrix;
+}
+
+double squared_distance(const double* a, const double* b, std::size_t cols) {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const double diff = a[c] - b[c];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Greedy farthest-point batch: repeatedly take the candidate farthest (in
+/// min-distance terms) from everything already referenced, ties on ascending
+/// index. With no reference rows the sweep starts at the candidate nearest
+/// the space centroid — deterministic, and central beats a corner as the
+/// first probe of an unexplored grid. Returns `count` indices, ascending.
+std::vector<std::size_t> farthest_point_batch(
+    const std::vector<double>& features, std::size_t cols,
+    const std::vector<std::size_t>& candidates,
+    const std::vector<std::size_t>& reference, std::size_t count) {
+  std::vector<double> min_d(candidates.size(),
+                            std::numeric_limits<double>::infinity());
+  for (const std::size_t ref : reference) {
+    const double* ref_row = features.data() + ref * cols;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      min_d[i] = std::min(min_d[i],
+                          squared_distance(
+                              features.data() + candidates[i] * cols, ref_row,
+                              cols));
+    }
+  }
+
+  std::vector<std::size_t> picks;
+  picks.reserve(count);
+  if (reference.empty() && count > 0) {
+    std::vector<double> centroid(cols, 0.0);
+    for (const std::size_t row : candidates) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        centroid[c] += features[row * cols + c];
+      }
+    }
+    for (double& v : centroid) v /= static_cast<double>(candidates.size());
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double dist = squared_distance(
+          features.data() + candidates[i] * cols, centroid.data(), cols);
+      if (dist < best_d) {
+        best_d = dist;
+        best = i;
+      }
+    }
+    picks.push_back(candidates[best]);
+    min_d[best] = -1.0;  // consumed
+    const double* first = features.data() + candidates[best] * cols;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (min_d[i] < 0.0) continue;
+      min_d[i] = std::min(min_d[i], squared_distance(
+          features.data() + candidates[i] * cols, first, cols));
+    }
+  }
+
+  while (picks.size() < count) {
+    std::size_t best = candidates.size();
+    double best_d = -1.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (min_d[i] >= 0.0 && min_d[i] > best_d) {
+        best_d = min_d[i];
+        best = i;
+      }
+    }
+    DSML_REQUIRE(best < candidates.size(),
+                 "sampler: batch exceeds the candidate set");
+    picks.push_back(candidates[best]);
+    min_d[best] = -1.0;
+    const double* chosen = features.data() + candidates[best] * cols;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (min_d[i] < 0.0) continue;
+      min_d[i] = std::min(min_d[i], squared_distance(
+          features.data() + candidates[i] * cols, chosen, cols));
+    }
+  }
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
+}  // namespace
+
+std::vector<std::size_t> RandomSampler::select(const SamplerRound& round,
+                                               const SamplerContext& ctx) {
+  if (round.rate > 0.0) {
+    // The paper's protocol, bit-for-bit: one fresh fraction-sized sample per
+    // round from the shared stream, at least 10 rows (§4.2).
+    return data::sample_fraction(ctx.space_rows, round.rate, rng_,
+                                 /*min_rows=*/10);
+  }
+  return uniform_from_pool(unevaluated_pool(ctx), round.count, rng_);
+}
+
+std::vector<std::size_t> AdaptiveSampler::select(const SamplerRound& round,
+                                                 const SamplerContext& ctx) {
+  DSML_REQUIRE(round.count > 0, "AdaptiveSampler: count-driven rounds only");
+  std::vector<std::size_t> pool = unevaluated_pool(ctx);
+  const std::size_t count = std::min(round.count, pool.size());
+  const bool have_committee =
+      ctx.disagreement && !ctx.disagreement->empty();
+  if (have_committee) {
+    DSML_REQUIRE(ctx.disagreement->size() == ctx.space_rows,
+                 "AdaptiveSampler: disagreement size mismatch");
+  }
+
+  // Feature-free fallbacks (unit harnesses, spaces without geometry):
+  // uniform seeding, then a pure top-of-the-disagreement-ranking batch.
+  if (!ctx.space) {
+    if (!have_committee) return uniform_from_pool(pool, count, rng_);
+    const std::vector<double>& d = *ctx.disagreement;
+    std::partial_sort(pool.begin(),
+                      pool.begin() + static_cast<std::ptrdiff_t>(count),
+                      pool.end(), [&](std::size_t a, std::size_t b) {
+                        if (d[a] != d[b]) return d[a] > d[b];
+                        return a < b;
+                      });
+    std::vector<std::size_t> picks(pool.begin(),
+                                   pool.begin() +
+                                       static_cast<std::ptrdiff_t>(count));
+    std::sort(picks.begin(), picks.end());
+    return picks;
+  }
+
+  DSML_REQUIRE(ctx.space->n_rows() == ctx.space_rows,
+               "AdaptiveSampler: space size mismatch");
+  const std::vector<double> features = normalized_features(*ctx.space);
+  const std::size_t cols = ctx.space->n_features();
+  std::vector<std::size_t> done;
+  done.reserve(ctx.evaluated_count);
+  if (ctx.evaluated) {
+    for (std::size_t i = 0; i < ctx.evaluated->size(); ++i) {
+      if ((*ctx.evaluated)[i]) done.push_back(i);
+    }
+  }
+
+  // With a committee, shortlist the most-contested quarter of the pool (at
+  // least 4x the batch) before spreading out; a pure top-k batch clusters in
+  // the single most uncertain corner of the space, and a cluster of
+  // near-duplicate training rows is mostly wasted simulation budget.
+  std::vector<std::size_t> candidates = pool;
+  if (have_committee && pool.size() > 4 * count) {
+    const std::vector<double>& d = *ctx.disagreement;
+    const std::size_t shortlist = std::max(4 * count, pool.size() / 4);
+    if (shortlist < pool.size()) {
+      std::partial_sort(candidates.begin(),
+                        candidates.begin() +
+                            static_cast<std::ptrdiff_t>(shortlist),
+                        candidates.end(), [&](std::size_t a, std::size_t b) {
+                          if (d[a] != d[b]) return d[a] > d[b];
+                          return a < b;
+                        });
+      candidates.resize(shortlist);
+      std::sort(candidates.begin(), candidates.end());
+    }
+  }
+  return farthest_point_batch(features, cols, candidates, done, count);
+}
+
+std::vector<std::size_t> FullSampler::select(const SamplerRound&,
+                                             const SamplerContext& ctx) {
+  return unevaluated_pool(ctx);
+}
+
+std::unique_ptr<Sampler> make_sampler(const std::string& name,
+                                      std::uint64_t seed,
+                                      const std::string& app) {
+  const std::uint64_t stream = seed ^ std::hash<std::string>{}(app);
+  if (name == "random") return std::make_unique<RandomSampler>(stream);
+  if (name == "adaptive") return std::make_unique<AdaptiveSampler>(stream);
+  throw InvalidArgument("unknown sampler '" + name + "' (random|adaptive)");
+}
+
+}  // namespace dsml::dse

@@ -1,0 +1,124 @@
+// Sampler seam of the DSE campaign engine (campaign.hpp): the policy that
+// decides which design-space configurations the next campaign round spends
+// its simulation budget on.
+//
+// Three policies ship:
+//   - RandomSampler: the paper's uniform random protocol. Rate-driven rounds
+//     draw a fresh `data::sample_fraction` sample per round from one shared
+//     RNG stream — byte-identical to the pre-campaign `run_sampled_dse`
+//     tables. Count-driven rounds draw uniformly from the not-yet-simulated
+//     pool (the equal-budget baseline for the adaptive comparison).
+//   - AdaptiveSampler: diversity-aware active learning. The first round is a
+//     greedy farthest-point sweep over the normalized feature space (centroid
+//     out), so a tiny seed batch already spans the whole design grid; every
+//     later round shortlists the unsimulated pool by the LR-vs-NN ensemble
+//     disagreement the campaign computed after its last retrain
+//     (ml::ensemble_disagreement) and farthest-point-picks within the
+//     shortlist, away from everything already simulated. Without feature
+//     geometry (ctx.space == nullptr) it degrades to uniform seeding and a
+//     pure top-of-the-ranking batch.
+//   - FullSampler: every candidate row at once — the chronological
+//     experiment's "train on everything from 2005" configuration.
+//
+// Determinism contract: select() must be a pure function of (round, context,
+// internal RNG state). Disagreement rankings and farthest-point sweeps break
+// ties by ascending index, so selections are bit-identical across
+// DSML_THREADS values and across local-vs-fleet evaluators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace dsml::dse {
+
+/// One campaign round's sampling order.
+struct SamplerRound {
+  /// Target sampling fraction; > 0 selects the rate-driven path
+  /// (data::sample_fraction semantics, fresh sample per round).
+  double rate = 0.0;
+  /// Number of new points to add; used when rate == 0.
+  std::size_t count = 0;
+  /// Short name used in cell labels and failure records ("1%", "r2").
+  std::string label;
+  /// Mixed into the round's cross-validation seed
+  /// (sample_seed * 977 + seed_salt).
+  std::uint64_t seed_salt = 0;
+};
+
+/// What the campaign knows when it asks for the next points.
+struct SamplerContext {
+  std::size_t space_rows = 0;
+  /// Per-row flag: already simulated in an earlier round.
+  const std::vector<std::uint8_t>* evaluated = nullptr;
+  std::size_t evaluated_count = 0;
+  /// Per-row ensemble disagreement from the previous retrain; empty before
+  /// the first retrain (and on non-cumulative campaigns).
+  const std::vector<double>* disagreement = nullptr;
+  /// Candidate feature rows (borrowed; a target column, if present, is
+  /// ignored). Lets geometry-aware samplers measure distances between
+  /// configurations; null degrades AdaptiveSampler to its feature-free
+  /// fallbacks.
+  const data::Dataset* space = nullptr;
+};
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+  virtual std::string name() const = 0;
+  /// Cumulative samplers grow one training set across rounds; a
+  /// non-cumulative round's selection stands alone (the classic
+  /// independent-rates protocol).
+  virtual bool cumulative() const = 0;
+  /// Pick the round's new configuration indices, sorted ascending.
+  virtual std::vector<std::size_t> select(const SamplerRound& round,
+                                          const SamplerContext& ctx) = 0;
+};
+
+class RandomSampler final : public Sampler {
+ public:
+  /// `seed` is the final stream seed; the drivers pass
+  /// sample_seed ^ std::hash<std::string>{}(app) so per-app streams differ,
+  /// exactly as run_sampled_dse always has.
+  explicit RandomSampler(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  bool cumulative() const override { return false; }
+  std::vector<std::size_t> select(const SamplerRound& round,
+                                  const SamplerContext& ctx) override;
+
+ private:
+  Rng rng_;
+};
+
+class AdaptiveSampler final : public Sampler {
+ public:
+  explicit AdaptiveSampler(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "adaptive"; }
+  bool cumulative() const override { return true; }
+  std::vector<std::size_t> select(const SamplerRound& round,
+                                  const SamplerContext& ctx) override;
+
+ private:
+  Rng rng_;
+};
+
+/// Selects every not-yet-evaluated row (the chronological configuration).
+class FullSampler final : public Sampler {
+ public:
+  std::string name() const override { return "full"; }
+  bool cumulative() const override { return false; }
+  std::vector<std::size_t> select(const SamplerRound& round,
+                                  const SamplerContext& ctx) override;
+};
+
+/// Factory for the CLI: "random" or "adaptive", seeded with
+/// seed ^ hash(app). Throws InvalidArgument on an unknown name.
+std::unique_ptr<Sampler> make_sampler(const std::string& name,
+                                      std::uint64_t seed,
+                                      const std::string& app);
+
+}  // namespace dsml::dse

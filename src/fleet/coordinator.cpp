@@ -63,15 +63,21 @@ Endpoint parse_endpoint(const std::string& spec) {
   return ep;
 }
 
-FleetSweepResult coordinator_sweep(const std::string& app,
-                                   const std::vector<Endpoint>& workers,
-                                   const CoordinatorOptions& options) {
+GatherResult coordinator_gather(const std::string& app,
+                                const std::vector<Endpoint>& workers,
+                                const CoordinatorOptions& options,
+                                const std::vector<std::size_t>& indices) {
   DSML_REQUIRE(!workers.empty(), "fleet: no workers given");
   DSML_REQUIRE(options.max_rounds > 0, "fleet: max_rounds must be positive");
-  trace::Span sweep_span([&] { return "fleet.sweep " + app; }, "fleet");
-  trace::Stopwatch timer;
+  DSML_REQUIRE(!indices.empty(), "fleet: empty index set");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    DSML_REQUIRE(indices[i] < sim::kDesignSpaceSize,
+                 "fleet: index outside the design space");
+    DSML_REQUIRE(i == 0 || indices[i - 1] < indices[i],
+                 "fleet: indices must be strictly ascending");
+  }
 
-  FleetSweepResult result;
+  GatherResult result;
   std::set<std::string> evicted_set;
   std::set<std::string> contributed;
   const auto record_failure = [&](const std::string& label,
@@ -83,9 +89,12 @@ FleetSweepResult coordinator_sweep(const std::string& app,
     }
   };
 
-  std::vector<std::uint8_t> done(sim::kDesignSpaceSize, 0);
-  std::size_t missing = sim::kDesignSpaceSize;
-  std::vector<dse::SweepShard> shards;
+  // `done` spans the whole design space so the hash-ring owner of a
+  // configuration is independent of which subset a campaign asks for — the
+  // same index always lands on the same worker.
+  std::vector<std::uint8_t> done(sim::kDesignSpaceSize, 1);
+  for (const std::size_t idx : indices) done[idx] = 0;
+  std::size_t missing = indices.size();
 
   for (std::size_t round = 1; round <= options.max_rounds && missing > 0;
        ++round) {
@@ -115,8 +124,8 @@ FleetSweepResult coordinator_sweep(const std::string& app,
     // Assign only the configurations still missing: consistent hashing
     // means survivors of an eviction keep the shards they already returned.
     std::map<std::string, std::vector<std::size_t>> assignment;
-    for (std::size_t i = 0; i < done.size(); ++i) {
-      if (!done[i]) assignment[ring.owner(i)].push_back(i);
+    for (const std::size_t idx : indices) {
+      if (!done[idx]) assignment[ring.owner(idx)].push_back(idx);
     }
 
     // Scatter: send every request before reading any response, so workers
@@ -157,7 +166,7 @@ FleetSweepResult coordinator_sweep(const std::string& app,
         }
         for (const std::size_t idx : flight.indices) done[idx] = 1;
         missing -= flight.indices.size();
-        shards.push_back(dse::SweepShard{
+        result.shards.push_back(dse::SweepShard{
             std::move(flight.indices), std::move(shard.cycles),
             shard.simpoint_count, shard.simulated_instructions});
         coordinator_metrics().shards.add();
@@ -171,16 +180,34 @@ FleetSweepResult coordinator_sweep(const std::string& app,
   if (missing > 0) {
     throw StateError(
         "fleet: " + std::to_string(missing) + " of " +
-        std::to_string(sim::kDesignSpaceSize) +
+        std::to_string(indices.size()) +
         " configurations unassigned after " + std::to_string(result.rounds) +
         " round(s) across " + std::to_string(workers.size()) +
         " worker(s); " + std::to_string(result.failures.size()) +
         " failure(s) recorded");
   }
 
-  result.sweep = dse::merge_sweep_shards(app, shards);
-  result.sweep.seconds = timer.seconds();
   result.workers_used = contributed.size();
+  return result;
+}
+
+FleetSweepResult coordinator_sweep(const std::string& app,
+                                   const std::vector<Endpoint>& workers,
+                                   const CoordinatorOptions& options) {
+  trace::Span sweep_span([&] { return "fleet.sweep " + app; }, "fleet");
+  trace::Stopwatch timer;
+
+  std::vector<std::size_t> all(sim::kDesignSpaceSize);
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  GatherResult gathered = coordinator_gather(app, workers, options, all);
+
+  FleetSweepResult result;
+  result.failures = std::move(gathered.failures);
+  result.evicted = std::move(gathered.evicted);
+  result.rounds = gathered.rounds;
+  result.workers_used = gathered.workers_used;
+  result.sweep = dse::merge_sweep_shards(app, gathered.shards);
+  result.sweep.seconds = timer.seconds();
   return result;
 }
 

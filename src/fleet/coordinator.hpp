@@ -63,6 +63,26 @@ struct FleetSweepResult {
   std::size_t workers_used = 0;          ///< workers that returned a shard
 };
 
+struct GatherResult {
+  std::vector<dse::SweepShard> shards;   ///< exact coverage of the request
+  std::vector<FailureRecord> failures;   ///< every tolerated worker failure
+  std::vector<std::string> evicted;      ///< endpoints evicted in some round
+  std::size_t rounds = 0;                ///< assignment rounds used
+  std::size_t workers_used = 0;          ///< workers that returned a shard
+};
+
+/// The fault-tolerant scatter/gather round loop over an arbitrary index set
+/// (strictly ascending, in-range): re-ping every endpoint each round,
+/// partition the still-missing indices over the survivors by consistent
+/// hash, scatter, gather, evict failures. coordinator_sweep and the
+/// campaign-facing FleetEvaluator are both thin wrappers over this. Throws
+/// InvalidArgument on an empty worker list or malformed index set,
+/// StateError when coverage cannot be completed within max_rounds.
+GatherResult coordinator_gather(const std::string& app,
+                                const std::vector<Endpoint>& workers,
+                                const CoordinatorOptions& options,
+                                const std::vector<std::size_t>& indices);
+
 /// Runs the full design-space sweep for `app` across `workers`. Throws
 /// InvalidArgument on an empty worker list, StateError when coverage cannot
 /// be completed within max_rounds (e.g. every worker dead).

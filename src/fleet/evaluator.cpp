@@ -1,0 +1,68 @@
+#include "fleet/evaluator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/trace.hpp"
+
+namespace dsml::fleet {
+
+FleetEvaluator::FleetEvaluator(std::string app, std::vector<Endpoint> workers,
+                               CoordinatorOptions options)
+    : app_(std::move(app)),
+      workers_(std::move(workers)),
+      options_(std::move(options)) {
+  DSML_REQUIRE(!workers_.empty(), "fleet: no workers given");
+}
+
+dse::SweepShard FleetEvaluator::evaluate(
+    const std::vector<std::size_t>& indices) {
+  trace::Span gather_span([&] { return "fleet.gather " + app_; }, "fleet");
+  GatherResult gathered =
+      coordinator_gather(app_, workers_, options_, indices);
+  for (FailureRecord& f : gathered.failures) {
+    pending_.push_back(std::move(f));
+  }
+  for (std::string& label : gathered.evicted) {
+    if (std::find(evicted_.begin(), evicted_.end(), label) ==
+        evicted_.end()) {
+      evicted_.push_back(std::move(label));
+    }
+  }
+
+  // Flatten the per-worker shards into one response aligned to the request.
+  // coordinator_gather guarantees exact coverage (or throws), so every
+  // requested index appears exactly once across the shards.
+  dse::SweepShard merged;
+  merged.indices = indices;
+  merged.cycles.assign(indices.size(), 0.0);
+  std::vector<std::uint8_t> seen(indices.size(), 0);
+  for (dse::SweepShard& shard : gathered.shards) {
+    DSML_REQUIRE(shard.indices.size() == shard.cycles.size(),
+                 "fleet: malformed shard");
+    for (std::size_t i = 0; i < shard.indices.size(); ++i) {
+      const auto it = std::lower_bound(indices.begin(), indices.end(),
+                                       shard.indices[i]);
+      DSML_REQUIRE(it != indices.end() && *it == shard.indices[i],
+                   "fleet: shard answered an index outside the request");
+      const std::size_t pos =
+          static_cast<std::size_t>(it - indices.begin());
+      DSML_REQUIRE(!seen[pos], "fleet: shard answered an index twice");
+      seen[pos] = 1;
+      merged.cycles[pos] = shard.cycles[i];
+    }
+    merged.simpoint_count += shard.simpoint_count;
+    merged.simulated_instructions += shard.simulated_instructions;
+  }
+  DSML_REQUIRE(std::all_of(seen.begin(), seen.end(),
+                           [](std::uint8_t s) { return s != 0; }),
+               "fleet: gather left requested indices unanswered");
+  return merged;
+}
+
+std::vector<FailureRecord> FleetEvaluator::drain_failures() {
+  return std::exchange(pending_, {});
+}
+
+}  // namespace dsml::fleet

@@ -1,0 +1,46 @@
+#include "ml/ensemble.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dsml::ml {
+
+std::vector<double> ensemble_disagreement(
+    const std::vector<std::span<const double>>& members) {
+  if (members.empty()) return {};
+  const std::size_t rows = members.front().size();
+  for (const auto& m : members) {
+    DSML_REQUIRE(m.size() == rows,
+                 "ensemble_disagreement: member size mismatch");
+  }
+  std::vector<double> out(rows, 0.0);
+  if (members.size() < 2) return out;
+
+  const double k = static_cast<double>(members.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    double mean = 0.0;
+    for (const auto& m : members) mean += m[r];
+    mean /= k;
+    double var = 0.0;
+    for (const auto& m : members) {
+      const double d = m[r] - mean;
+      var += d * d;
+    }
+    var /= k;
+    // Relative spread; the epsilon keeps a degenerate all-zero row finite.
+    const double scale = std::abs(mean) > 1e-12 ? std::abs(mean) : 1e-12;
+    out[r] = std::sqrt(var) / scale;
+  }
+  return out;
+}
+
+std::vector<double> ensemble_disagreement(
+    const std::vector<std::vector<double>>& members) {
+  std::vector<std::span<const double>> views;
+  views.reserve(members.size());
+  for (const auto& m : members) views.emplace_back(m.data(), m.size());
+  return ensemble_disagreement(views);
+}
+
+}  // namespace dsml::ml

@@ -1,0 +1,33 @@
+// Ensemble disagreement: how much a set of models argue about each row.
+//
+// The active-learning sampler (dse::AdaptiveSampler) ranks unsimulated
+// configurations by how much the surrogate ensemble — typically the LR and
+// NN models trained on the points simulated so far — disagrees on them, and
+// spends the next simulation budget where disagreement is highest. This is
+// the query-by-committee variance criterion from the ML-for-simulation
+// literature (PAPERS.md: Ali & Akram 2024; Concorde 2025): regions where a
+// linear and a non-linear surrogate diverge are regions neither has enough
+// training support in.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dsml::ml {
+
+/// Per-row disagreement of an ensemble of prediction vectors: the population
+/// standard deviation across members, normalised by the mean magnitude of
+/// the row (relative, so high-cycle configurations do not dominate purely by
+/// scale). All member vectors must be the same length. One member (or none)
+/// means nothing to argue about: all zeros.
+///
+/// Deterministic: a plain serial reduction over members, so the ranking an
+/// adaptive sampler derives from it is bit-identical across thread counts.
+std::vector<double> ensemble_disagreement(
+    const std::vector<std::span<const double>>& members);
+
+/// Convenience overload for owned vectors.
+std::vector<double> ensemble_disagreement(
+    const std::vector<std::vector<double>>& members);
+
+}  // namespace dsml::ml

@@ -1,0 +1,406 @@
+// Campaign-engine tests: the sampler seam (random/adaptive/full selection
+// policies and their determinism contract), ensemble disagreement, budget
+// splitting, the shared failure banner, evaluator validation, the Pareto
+// scorer, and whole-campaign determinism — the adaptive campaign must
+// produce bit-identical tables run-to-run, which the tsan label extends to
+// "across DSML_THREADS values" (the tsan suite runs with DSML_THREADS=4,
+// the release suite with the default).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "data/split.hpp"
+#include "dse/campaign.hpp"
+#include "dse/sampler.hpp"
+#include "ml/ensemble.hpp"
+#include "sim/config.hpp"
+
+namespace dsml::dse {
+namespace {
+
+/// A small design-space slice with analytic cycle counts: real schema and
+/// encoders, no simulation, so campaigns stay fast and fully deterministic.
+data::Dataset toy_space(std::size_t n) {
+  std::vector<sim::ProcessorConfig> configs = sim::enumerate_design_space();
+  configs.resize(n);
+  std::vector<double> cycles;
+  cycles.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cycles.push_back(50000.0 + 900.0 * static_cast<double>(i % 7) +
+                     37.0 * static_cast<double>(i));
+  }
+  return sim::make_config_dataset(configs, std::move(cycles));
+}
+
+CampaignConfig toy_config(const data::Dataset& space, Sampler& sampler,
+                          Evaluator& evaluator) {
+  CampaignConfig config;
+  config.app = "toy";
+  config.space = &space;
+  config.sampler = &sampler;
+  config.evaluator = &evaluator;
+  config.model_names = {"LR-B", "NN-S"};
+  return config;
+}
+
+// ---------------------------------------------------------------- ensemble --
+
+TEST(EnsembleDisagreement, FewerThanTwoMembersIsZero) {
+  EXPECT_TRUE(ml::ensemble_disagreement(
+                  std::vector<std::vector<double>>{})
+                  .empty());
+  const std::vector<std::vector<double>> one = {{1.0, 2.0, 3.0}};
+  EXPECT_EQ(ml::ensemble_disagreement(one),
+            (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(EnsembleDisagreement, RelativePopulationStddevAcrossMembers) {
+  const std::vector<std::vector<double>> members = {{1.0, 2.0}, {1.0, 4.0}};
+  const std::vector<double> d = ml::ensemble_disagreement(members);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);        // full agreement
+  EXPECT_DOUBLE_EQ(d[1], 1.0 / 3.0);  // sd 1 over mean 3
+}
+
+TEST(EnsembleDisagreement, RejectsLengthMismatch) {
+  const std::vector<std::vector<double>> members = {{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(ml::ensemble_disagreement(members), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- samplers --
+
+TEST(RandomSamplerTest, RateRoundsMatchSampleFractionBitForBit) {
+  RandomSampler sampler(42);
+  SamplerRound round;
+  round.rate = 0.02;
+  SamplerContext ctx;
+  ctx.space_rows = 4608;
+  const std::vector<std::size_t> picks = sampler.select(round, ctx);
+
+  Rng rng(42);
+  const std::vector<std::size_t> expected =
+      data::sample_fraction(4608, 0.02, rng, 10);
+  EXPECT_EQ(picks, expected);
+}
+
+TEST(RandomSamplerTest, CountRoundsDrawFromTheUnevaluatedPool) {
+  RandomSampler sampler(7);
+  SamplerRound round;
+  round.count = 5;
+  std::vector<std::uint8_t> done(20, 0);
+  for (const std::size_t idx : {0u, 1u, 2u, 3u}) done[idx] = 1;
+  SamplerContext ctx;
+  ctx.space_rows = 20;
+  ctx.evaluated = &done;
+  ctx.evaluated_count = 4;
+  const std::vector<std::size_t> picks = sampler.select(round, ctx);
+  ASSERT_EQ(picks.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(picks.begin(), picks.end()));
+  for (const std::size_t p : picks) {
+    EXPECT_GE(p, 4u);  // never an already-evaluated row
+    EXPECT_LT(p, 20u);
+  }
+  EXPECT_EQ(std::adjacent_find(picks.begin(), picks.end()), picks.end());
+}
+
+TEST(RandomSamplerTest, BudgetBeyondThePoolIsRejected) {
+  RandomSampler sampler(7);
+  SamplerRound round;
+  round.count = 21;
+  SamplerContext ctx;
+  ctx.space_rows = 20;
+  EXPECT_THROW(sampler.select(round, ctx), InvalidArgument);
+}
+
+TEST(AdaptiveSamplerTest, RanksByDisagreementWithAscendingTieBreak) {
+  AdaptiveSampler sampler(7);
+  SamplerRound round;
+  round.count = 3;
+  std::vector<std::uint8_t> done(8, 0);
+  done[5] = 1;  // the highest-disagreement row is already simulated
+  const std::vector<double> d = {0.1, 0.7, 0.3, 0.7, 0.0, 0.9, 0.2, 0.05};
+  SamplerContext ctx;
+  ctx.space_rows = 8;
+  ctx.evaluated = &done;
+  ctx.evaluated_count = 1;
+  ctx.disagreement = &d;
+  // Top of the pool: 1 and 3 tie at 0.7 (ascending index keeps both, in
+  // order), then 2 at 0.3. Row 5 is excluded despite 0.9.
+  EXPECT_EQ(sampler.select(round, ctx),
+            (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(AdaptiveSamplerTest, SeedsUniformlyWithoutACommittee) {
+  SamplerRound round;
+  round.count = 6;
+  SamplerContext ctx;
+  ctx.space_rows = 50;
+  AdaptiveSampler a(99);
+  AdaptiveSampler b(99);
+  const auto first = a.select(round, ctx);
+  EXPECT_EQ(first, b.select(round, ctx));  // same seed, same picks
+  ASSERT_EQ(first.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+}
+
+TEST(AdaptiveSamplerTest, FarthestPointSeedIsCentroidOutAndSeedFree) {
+  // A 1-D line of 9 points: the centroid seed takes the middle, then the
+  // greedy sweep alternates to the extremes — no RNG involved, so two
+  // samplers with different seeds agree exactly.
+  data::Dataset space;
+  std::vector<double> xs(9);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i);
+  }
+  space.add_feature(data::Column::numeric("x", xs));
+  SamplerRound round;
+  round.count = 3;
+  SamplerContext ctx;
+  ctx.space_rows = space.n_rows();
+  ctx.space = &space;
+  AdaptiveSampler a(7);
+  AdaptiveSampler b(1234);
+  const auto picks = a.select(round, ctx);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 4, 8}));
+  EXPECT_EQ(picks, b.select(round, ctx));
+}
+
+TEST(AdaptiveSamplerTest, CommitteeShortlistsThenSpreadsOut) {
+  // Disagreement concentrates on rows 0..9 of a 40-point line; the batch
+  // must stay inside that shortlist but spread across it (the centroid-most
+  // row, then the farthest end) instead of taking the top-2 ranking.
+  data::Dataset space;
+  std::vector<double> xs(40);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i);
+  }
+  space.add_feature(data::Column::numeric("x", xs));
+  std::vector<double> d(40, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) d[i] = 1.0;
+  SamplerRound round;
+  round.count = 2;
+  SamplerContext ctx;
+  ctx.space_rows = space.n_rows();
+  ctx.space = &space;
+  ctx.disagreement = &d;
+  AdaptiveSampler sampler(7);
+  const auto picks = sampler.select(round, ctx);
+  ASSERT_EQ(picks.size(), 2u);
+  for (const std::size_t p : picks) EXPECT_LT(p, 10u);  // inside shortlist
+  EXPECT_GE(picks[1] - picks[0], 4u);  // spread, not the top-2 ranking
+  AdaptiveSampler again(99);
+  EXPECT_EQ(picks, again.select(round, ctx));  // and seed-free
+}
+
+TEST(SamplerFactory, MakesRandomAndAdaptiveAndRejectsUnknown) {
+  EXPECT_EQ(make_sampler("random", 7, "mcf")->name(), "random");
+  EXPECT_EQ(make_sampler("adaptive", 7, "mcf")->name(), "adaptive");
+  EXPECT_THROW(make_sampler("greedy", 7, "mcf"), InvalidArgument);
+}
+
+// ------------------------------------------------------------------ config --
+
+TEST(BudgetRounds, SplitsWithRemainderOnEarlierRounds) {
+  const std::vector<SamplerRound> plan = budget_rounds(10, 3);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].count, 4u);
+  EXPECT_EQ(plan[1].count, 3u);
+  EXPECT_EQ(plan[2].count, 3u);
+  EXPECT_EQ(plan[0].label, "r1");
+  EXPECT_EQ(plan[2].label, "r3");
+  EXPECT_EQ(plan[0].seed_salt, 1u);
+  EXPECT_EQ(plan[2].seed_salt, 3u);
+  EXPECT_THROW(budget_rounds(2, 3), InvalidArgument);
+  EXPECT_THROW(budget_rounds(5, 0), InvalidArgument);
+}
+
+TEST(FailureSummary, FormatsTheSharedBanner) {
+  EXPECT_EQ(format_failure_summary({}), "");
+  const std::vector<FailureRecord> failures = {
+      {"LR-B@1%", "NumericalError", "singular system"},
+      {"host:9001", "IoError", "connection refused"}};
+  EXPECT_EQ(format_failure_summary(failures),
+            "2 failure(s) tolerated:\n"
+            "  LR-B@1% [NumericalError] singular system\n"
+            "  host:9001 [IoError] connection refused\n");
+}
+
+// -------------------------------------------------------------- evaluators --
+
+TEST(DatasetEvaluatorTest, SlicesTargetsAndValidates) {
+  const data::Dataset space = toy_space(30);
+  DatasetEvaluator evaluator(space);
+  const SweepShard shard = evaluator.evaluate({0, 7, 29});
+  EXPECT_EQ(shard.indices, (std::vector<std::size_t>{0, 7, 29}));
+  ASSERT_EQ(shard.cycles.size(), 3u);
+  EXPECT_EQ(shard.cycles[0], space.target_at(0));
+  EXPECT_EQ(shard.cycles[2], space.target_at(29));
+  EXPECT_THROW(evaluator.evaluate({30}), InvalidArgument);
+
+  std::vector<sim::ProcessorConfig> few = sim::enumerate_design_space();
+  few.resize(4);
+  const data::Dataset no_target = sim::make_config_dataset(few);
+  EXPECT_THROW(DatasetEvaluator{no_target}, InvalidArgument);
+}
+
+// ------------------------------------------------------------------ scorer --
+
+TEST(SynthesizedEnergy, GrowsWithWidthAndCache) {
+  sim::ProcessorConfig base = sim::enumerate_design_space().front();
+  sim::ProcessorConfig wide = base;
+  wide.width = base.width * 2;
+  EXPECT_GT(synthesized_energy(wide), synthesized_energy(base));
+  sim::ProcessorConfig big_l3 = base;
+  big_l3.l3_size_mb = 4;  // the front config has no L3 at all
+  EXPECT_GT(synthesized_energy(big_l3), synthesized_energy(base));
+}
+
+TEST(ParetoScorerTest, FrontierIsNonDominatedAndDeterministic) {
+  ParetoScorer scorer;
+  std::vector<double> predictions(sim::kDesignSpaceSize);
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    predictions[i] = 1e6 + 13.0 * static_cast<double>((i * 2654435761u) %
+                                                      100003u);
+  }
+  CampaignResult result;
+  scorer.finalize(predictions, result);
+  ASSERT_FALSE(result.pareto.empty());
+  for (std::size_t i = 1; i < result.pareto.size(); ++i) {
+    EXPECT_GE(result.pareto[i].cycles, result.pareto[i - 1].cycles);
+    EXPECT_LT(result.pareto[i].energy, result.pareto[i - 1].energy);
+  }
+  // Wrong-size predictions cannot silently score a different space.
+  EXPECT_THROW(scorer.finalize({1.0, 2.0}, result), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- campaign --
+
+TEST(CampaignTest, ValidatesItsConfig) {
+  const data::Dataset space = toy_space(20);
+  RandomSampler sampler(7);
+  DatasetEvaluator evaluator(space);
+  CampaignConfig config = toy_config(space, sampler, evaluator);
+  config.space = nullptr;
+  EXPECT_THROW(Campaign{config}, InvalidArgument);
+  config = toy_config(space, sampler, evaluator);
+  config.rounds.clear();
+  EXPECT_THROW(Campaign{config}, InvalidArgument);
+  config = toy_config(space, sampler, evaluator);
+  config.rounds = budget_rounds(8, 2);
+  config.model_names.clear();
+  EXPECT_THROW(Campaign{config}, InvalidArgument);
+}
+
+/// Runs an adaptive campaign over the toy space; the determinism tests
+/// compare everything two runs produce.
+CampaignResult run_adaptive(const data::Dataset& space) {
+  AdaptiveSampler sampler(7);
+  DatasetEvaluator evaluator(space);
+  CampaignConfig config = toy_config(space, sampler, evaluator);
+  config.rounds = budget_rounds(30, 3);
+  return Campaign(config).run();
+}
+
+TEST(CampaignTest, AdaptiveCampaignIsBitIdenticalRunToRun) {
+  const data::Dataset space = toy_space(200);
+  const CampaignResult a = run_adaptive(space);
+  const CampaignResult b = run_adaptive(space);
+
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  ASSERT_EQ(a.rounds.size(), 3u);
+  ASSERT_EQ(b.rounds.size(), 3u);
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    const CampaignRound& ra = a.rounds[r];
+    const CampaignRound& rb = b.rounds[r];
+    EXPECT_EQ(ra.train_rows, rb.train_rows);
+    ASSERT_EQ(ra.cells.size(), rb.cells.size());
+    for (std::size_t c = 0; c < ra.cells.size(); ++c) {
+      EXPECT_EQ(ra.cells[c].model, rb.cells[c].model);
+      EXPECT_EQ(ra.cells[c].estimated_error_max,
+                rb.cells[c].estimated_error_max);
+      EXPECT_EQ(ra.cells[c].true_error, rb.cells[c].true_error);
+      EXPECT_EQ(ra.cells[c].predictions, rb.cells[c].predictions);
+    }
+    EXPECT_EQ(ra.select.chosen_model, rb.select.chosen_model);
+  }
+  // Adaptive rounds actually adapt: round 2 must not be the uniform seed
+  // batch (it ranks by the round-1 committee), and the training set grows.
+  EXPECT_EQ(a.rounds.front().train_rows, 10u);
+  EXPECT_EQ(a.rounds.back().train_rows, 30u);
+  EXPECT_EQ(a.evaluated.size(), 30u);
+}
+
+TEST(CampaignTest, RoundFailpointCostsARecordNotTheTable) {
+  const data::Dataset space = toy_space(120);
+  const auto run_once = [&] {
+    RandomSampler sampler(7);
+    DatasetEvaluator evaluator(space);
+    CampaignConfig config = toy_config(space, sampler, evaluator);
+    config.rounds = budget_rounds(20, 2);
+    return Campaign(config).run();
+  };
+  const CampaignResult clean = run_once();
+
+  failpoint::ScopedFailpoints armed("dse.campaign.round=nth:1");
+  const CampaignResult degraded = run_once();
+
+  ASSERT_EQ(degraded.failures.size(), 1u);
+  EXPECT_EQ(degraded.failures[0].name, "campaign round r1");
+  EXPECT_EQ(degraded.failures[0].error_type, "NumericalError");
+  // The bounded retry re-evaluates the same picks: tables identical.
+  EXPECT_EQ(degraded.evaluated, clean.evaluated);
+  ASSERT_EQ(degraded.rounds.size(), clean.rounds.size());
+  for (std::size_t r = 0; r < clean.rounds.size(); ++r) {
+    ASSERT_EQ(degraded.rounds[r].cells.size(), clean.rounds[r].cells.size());
+    for (std::size_t c = 0; c < clean.rounds[r].cells.size(); ++c) {
+      EXPECT_EQ(degraded.rounds[r].cells[c].predictions,
+                clean.rounds[r].cells[c].predictions);
+    }
+  }
+}
+
+TEST(CampaignTest, EveryRoundLostStillReturnsTheFailures) {
+  const data::Dataset space = toy_space(40);
+  RandomSampler sampler(7);
+  DatasetEvaluator evaluator(space);
+  CampaignConfig config = toy_config(space, sampler, evaluator);
+  config.rounds = budget_rounds(8, 2);
+
+  failpoint::ScopedFailpoints armed("dse.campaign.round=err:StateError");
+  const CampaignResult result = Campaign(config).run();
+  EXPECT_TRUE(result.rounds.empty());
+  EXPECT_EQ(result.final_round(), nullptr);
+  EXPECT_EQ(result.failures.size(), 4u);  // 2 rounds x 2 attempts
+  EXPECT_EQ(result.failures[0].error_type, "StateError");
+  EXPECT_EQ(result.failures[1].name, "campaign round r1 retry");
+}
+
+TEST(CampaignTest, AdaptiveBeatsRandomOnTheToySpaceAtEqualBudget) {
+  // Not the paper-scale claim (EXPERIMENTS.md pins that on the real sweep);
+  // this guards the mechanism — spending the budget where the committee
+  // disagrees must not do worse than uniform on a structured space.
+  const data::Dataset space = toy_space(200);
+  const CampaignResult adaptive = run_adaptive(space);
+
+  RandomSampler sampler(7);
+  DatasetEvaluator evaluator(space);
+  CampaignConfig config = toy_config(space, sampler, evaluator);
+  config.rounds = budget_rounds(30, 1);
+  const CampaignResult random = Campaign(config).run();
+
+  const CampaignRound* af = adaptive.final_round();
+  const CampaignRound* rf = random.final_round();
+  ASSERT_NE(af, nullptr);
+  ASSERT_NE(rf, nullptr);
+  EXPECT_LE(af->select.true_error, rf->select.true_error * 1.10);
+}
+
+}  // namespace
+}  // namespace dsml::dse

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -193,6 +194,114 @@ TEST_F(CliTest, SampledExperimentPrintsTable) {
   EXPECT_EQ(result.exit_code, 0) << result.err;
   EXPECT_NE(result.out.find("LR-B"), std::string::npos);
   EXPECT_NE(result.out.find("select @2%"), std::string::npos);
+}
+
+/// A golden transcript captured from the pre-campaign seed drivers
+/// (tests/data/dse/): the Campaign refactor must keep these CLI outputs
+/// byte-identical.
+std::string read_golden(const std::string& name) {
+  const std::string path =
+      std::string(DSML_REPO_ROOT) + "/tests/data/dse/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(CliTest, SampledOutputIsByteIdenticalToTheSeedGolden) {
+  auto args = tiny_sweep_args();
+  args.insert(args.begin(), {"sampled", "--app", "applu", "--rates",
+                             "0.01,0.02", "--models", "LR-B,NN-S"});
+  const auto clean = run_cli(args);
+  EXPECT_EQ(clean.exit_code, 0) << clean.err;
+  EXPECT_EQ(clean.out, read_golden("sampled_golden.txt"));
+
+  // Degraded run: the armed eval failpoint costs exactly one tabulated cell
+  // and one banner line, nothing else (single-model menu so the nth trigger
+  // lands deterministically at any thread count).
+  auto degraded_args = tiny_sweep_args();
+  degraded_args.insert(degraded_args.begin(),
+                       {"sampled", "--app", "applu", "--rates", "0.01,0.02",
+                        "--models", "LR-B", "--failpoints",
+                        "dse.sampled.eval=nth:1"});
+  const auto degraded = run_cli(degraded_args);
+  EXPECT_EQ(degraded.exit_code, 0) << degraded.err;
+  EXPECT_EQ(degraded.out, read_golden("sampled_golden_degraded.txt"));
+}
+
+TEST_F(CliTest, ChronoOutputIsByteIdenticalToTheSeedGolden) {
+  const auto result = run_cli({"chrono", "--family", "pd"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_EQ(result.out, read_golden("chrono_golden.txt"));
+}
+
+TEST_F(CliTest, AdaptiveCampaignMatchesItsGoldenCleanAndDegraded) {
+  auto args = tiny_sweep_args();
+  args.insert(args.begin(), {"dse", "--app", "applu", "--sampler", "adaptive",
+                             "--budget", "24", "--rounds", "2", "--truth"});
+  const auto clean = run_cli(args);
+  EXPECT_EQ(clean.exit_code, 0) << clean.err;
+  EXPECT_EQ(clean.out, read_golden("campaign_golden.txt"));
+
+  // An injected transient in the campaign round loop: one failure record,
+  // one bounded retry, and a table byte-identical to the clean run.
+  auto degraded_args = args;
+  degraded_args.insert(degraded_args.begin(),
+                       {"--failpoints", "dse.campaign.round=nth:1"});
+  const auto degraded = run_cli(degraded_args);
+  EXPECT_EQ(degraded.exit_code, 0) << degraded.err;
+  EXPECT_EQ(degraded.out, read_golden("campaign_golden_degraded.txt"));
+}
+
+TEST_F(CliTest, RandomCampaignRunsWithABudget) {
+  auto args = tiny_sweep_args();
+  args.insert(args.begin(), {"dse", "--app", "applu", "--sampler", "random",
+                             "--budget", "20", "--truth", "--models", "LR-B"});
+  const auto result = run_cli(args);
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("campaign applu: sampler random"),
+            std::string::npos);
+  EXPECT_NE(result.out.find("evaluated 20 of 4608"), std::string::npos);
+}
+
+TEST_F(CliTest, CampaignFlagValidationNamesTheFlag) {
+  const struct {
+    std::vector<std::string> args;
+    const char* expect;
+  } cases[] = {
+      {{"dse", "--sampler", "random", "--budget", "abc"},
+       "--budget: expected a non-negative integer"},
+      {{"dse", "--sampler", "random", "--budget", "0"},
+       "--budget must be >= 1"},
+      {{"dse", "--sampler", "random", "--budget", "5000"},
+       "--budget: the design space has 4608"},
+      {{"dse", "--sampler", "random", "--budget", "10", "--rounds", "zz"},
+       "--rounds: expected a non-negative integer"},
+      {{"dse", "--sampler", "random", "--budget", "10", "--rounds", "0"},
+       "--rounds must be >= 1"},
+      {{"dse", "--sampler", "adaptive", "--budget", "10", "--rounds", "11"},
+       "--rounds: more rounds (11) than budget (10)"},
+      {{"dse", "--sampler", "random", "--sample-rate", "huge"},
+       "--sample-rate: expected a fraction in (0,1], got 'huge'"},
+      {{"dse", "--sampler", "random", "--sample-rate", "0"},
+       "--sample-rate: expected a fraction in (0,1], got '0'"},
+      {{"dse", "--sampler", "random", "--sample-rate", "1.5"},
+       "--sample-rate: expected a fraction in (0,1], got '1.5'"},
+      {{"dse", "--sampler", "random", "--budget", "10", "--sample-rate",
+        "0.01"},
+       "--budget and --sample-rate are mutually exclusive"},
+      {{"dse", "--sampler", "random", "--objective", "latency"},
+       "unknown objective 'latency' (cycles|pareto)"},
+      {{"dse", "--sampler", "greedy"},
+       "unknown sampler 'greedy' (random|adaptive)"},
+      {{"dse"}, "dse requires --sampler random|adaptive or --workers"},
+  };
+  for (const auto& c : cases) {
+    const auto result = run_cli(c.args);
+    EXPECT_EQ(result.exit_code, 1) << c.expect;
+    EXPECT_NE(result.err.find(c.expect), std::string::npos) << result.err;
+  }
 }
 
 TEST_F(CliTest, ChronoExperimentRuns) {

@@ -20,8 +20,11 @@
 #include "common/trace.hpp"
 #include "data/column.hpp"
 #include "data/dataset.hpp"
+#include "dse/campaign.hpp"
+#include "dse/sampler.hpp"
 #include "dse/sweep.hpp"
 #include "engine/registry.hpp"
+#include "fleet/evaluator.hpp"
 #include "engine/schema.hpp"
 #include "fleet/coordinator.hpp"
 #include "fleet/hash_ring.hpp"
@@ -547,6 +550,94 @@ TEST(Coordinator, AllWorkersDeadIsALoudError) {
     EXPECT_NE(std::string(e.what()).find("unassigned"), std::string::npos)
         << e.what();
   }
+}
+
+// ---------------------------------------------------------- fleet evaluator --
+
+/// Runs the same adaptive campaign against any ground-truth evaluator; the
+/// tests below require the resulting tables to be bit-identical whether the
+/// cycles came from the in-memory sweep dataset or over the wire from a
+/// worker fleet (evictions included).
+dse::CampaignResult adaptive_campaign(const data::Dataset& space,
+                                      dse::Evaluator& evaluator) {
+  dse::AdaptiveSampler sampler(7);
+  dse::CampaignConfig config;
+  config.app = "mcf";
+  config.space = &space;
+  config.sampler = &sampler;
+  config.evaluator = &evaluator;
+  config.model_names = {"LR-B", "NN-S"};
+  config.rounds = dse::budget_rounds(24, 2);
+  return dse::Campaign(config).run();
+}
+
+TEST(FleetEvaluator, GathersArbitraryIndexSetsBitForBit) {
+  Fleet fleet(2);
+  FleetEvaluator evaluator("mcf", fleet.endpoints(), fast_coordinator());
+  const std::vector<std::size_t> indices = {3, 100, 777, 2047, 4607};
+  const dse::SweepShard shard = evaluator.evaluate(indices);
+  ASSERT_EQ(shard.indices, indices);
+  ASSERT_EQ(shard.cycles.size(), indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ(shard.cycles[i], golden().cycles[indices[i]]) << indices[i];
+  }
+  EXPECT_TRUE(evaluator.drain_failures().empty());
+  EXPECT_THROW(evaluator.evaluate({}), InvalidArgument);
+  EXPECT_THROW(evaluator.evaluate({5, 5}), InvalidArgument);
+  EXPECT_THROW(evaluator.evaluate({sim::kDesignSpaceSize}), InvalidArgument);
+}
+
+TEST(FleetEvaluator, CampaignMatchesTheDatasetEvaluatorBitForBit) {
+  const data::Dataset space = dse::sweep_dataset(golden());
+  dse::DatasetEvaluator local(space);
+  const dse::CampaignResult expected = adaptive_campaign(space, local);
+
+  Fleet fleet(3);
+  FleetEvaluator remote("mcf", fleet.endpoints(), fast_coordinator());
+  const dse::CampaignResult result = adaptive_campaign(space, remote);
+
+  EXPECT_EQ(result.evaluated, expected.evaluated);
+  ASSERT_EQ(result.rounds.size(), expected.rounds.size());
+  for (std::size_t r = 0; r < expected.rounds.size(); ++r) {
+    ASSERT_EQ(result.rounds[r].cells.size(), expected.rounds[r].cells.size());
+    for (std::size_t c = 0; c < expected.rounds[r].cells.size(); ++c) {
+      EXPECT_EQ(result.rounds[r].cells[c].predictions,
+                expected.rounds[r].cells[c].predictions);
+      EXPECT_EQ(result.rounds[r].cells[c].estimated_error_max,
+                expected.rounds[r].cells[c].estimated_error_max);
+    }
+    EXPECT_EQ(result.rounds[r].select.chosen_model,
+              expected.rounds[r].select.chosen_model);
+  }
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_TRUE(remote.evicted().empty());
+}
+
+TEST(FleetEvaluator, EvictedWorkerMidRoundStillConverges) {
+  const data::Dataset space = dse::sweep_dataset(golden());
+  dse::DatasetEvaluator local(space);
+  const dse::CampaignResult expected = adaptive_campaign(space, local);
+
+  // The first shard request a worker simulates dies (fleet.worker.sweep):
+  // the coordinator evicts that worker for the gather round, reassigns its
+  // indices to the survivor, and the campaign's table must not change.
+  failpoint::ScopedFailpoints armed("fleet.worker.sweep=nth:1");
+  Fleet fleet(2);
+  FleetEvaluator remote("mcf", fleet.endpoints(), fast_coordinator());
+  const dse::CampaignResult result = adaptive_campaign(space, remote);
+
+  EXPECT_EQ(result.evaluated, expected.evaluated);
+  ASSERT_EQ(result.rounds.size(), expected.rounds.size());
+  for (std::size_t r = 0; r < expected.rounds.size(); ++r) {
+    ASSERT_EQ(result.rounds[r].cells.size(), expected.rounds[r].cells.size());
+    for (std::size_t c = 0; c < expected.rounds[r].cells.size(); ++c) {
+      EXPECT_EQ(result.rounds[r].cells[c].predictions,
+                expected.rounds[r].cells[c].predictions);
+    }
+  }
+  EXPECT_EQ(remote.evicted().size(), 1u);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_EQ(result.failures[0].error_type, "NumericalError");
 }
 
 // -------------------------------------------------------------- supervisor --

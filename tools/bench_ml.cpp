@@ -20,7 +20,9 @@
 #include "common/thread_pool.hpp"
 #include "data/encoder.hpp"
 #include "data/split.hpp"
+#include "dse/campaign.hpp"
 #include "dse/chronological.hpp"
+#include "dse/sampler.hpp"
 #include "engine/registry.hpp"
 #include "engine/schema.hpp"
 #include "engine/session.hpp"
@@ -612,6 +614,87 @@ Section bench_select_fit(json::Writer& w, const data::Dataset& train,
   return s;
 }
 
+// ------------------------------------------------------------ dse sampler ---
+
+dse::CampaignResult run_bench_campaign(const data::Dataset& space,
+                                       const std::string& sampler_name,
+                                       std::size_t budget, std::size_t rounds,
+                                       bool fast) {
+  auto sampler = dse::make_sampler(sampler_name, 7, "bench");
+  dse::DatasetEvaluator evaluator(space);
+  dse::CampaignConfig config;
+  config.app = "bench";
+  config.space = &space;
+  config.sampler = sampler.get();
+  config.evaluator = &evaluator;
+  config.rounds = dse::budget_rounds(budget, rounds);
+  config.model_names = {"LR-B", "NN-S"};
+  config.zoo.nn_epoch_scale = fast ? 0.25 : 1.0;
+  dse::Campaign campaign(config);
+  return campaign.run();
+}
+
+Section bench_dse_sampler(json::Writer& w, const data::Dataset& full,
+                          bool fast) {
+  const std::size_t budget = fast ? 24 : 46;
+  const std::size_t rounds = fast ? 2 : 4;
+
+  // Determinism gate: two adaptive campaigns from the same seed must agree
+  // bit for bit — sampled indices, every cell's predictions, the Select row.
+  dse::CampaignResult adaptive;
+  const double adaptive_s = time_per_call(
+      [&] { adaptive = run_bench_campaign(full, "adaptive", budget, rounds,
+                                          fast); },
+      0.0);
+  const dse::CampaignResult repeat =
+      run_bench_campaign(full, "adaptive", budget, rounds, fast);
+
+  dse::CampaignResult random;
+  const double random_s = time_per_call(
+      [&] { random = run_bench_campaign(full, "random", budget, 1, fast); },
+      0.0);
+
+  Section s;
+  s.name = "dse_sampler";
+  s.reference_ms = random_s * 1e3;
+  s.optimized_ms = adaptive_s * 1e3;
+  s.equivalent = adaptive.evaluated == repeat.evaluated &&
+                 adaptive.rounds.size() == repeat.rounds.size();
+  if (s.equivalent) {
+    for (std::size_t r = 0; r < adaptive.rounds.size(); ++r) {
+      const dse::CampaignRound& lhs = adaptive.rounds[r];
+      const dse::CampaignRound& rhs = repeat.rounds[r];
+      if (lhs.cells.size() != rhs.cells.size() ||
+          lhs.select.chosen_model != rhs.select.chosen_model) {
+        s.equivalent = false;
+        break;
+      }
+      for (std::size_t c = 0; c < lhs.cells.size(); ++c) {
+        s.max_diff = std::max(s.max_diff, max_abs_diff(
+            lhs.cells[c].predictions, rhs.cells[c].predictions));
+        s.equivalent = s.equivalent && bitwise_equal(
+            lhs.cells[c].predictions, rhs.cells[c].predictions);
+      }
+    }
+  }
+
+  const dse::CampaignRound* afinal = adaptive.final_round();
+  const dse::CampaignRound* rfinal = random.final_round();
+  const double adaptive_err = afinal ? afinal->select.true_error : -1.0;
+  const double random_err = rfinal ? rfinal->select.true_error : -1.0;
+
+  w.key("dse_sampler").begin_object();
+  w.field("budget", budget);
+  w.field("rounds", rounds);
+  w.field("random_ms", s.reference_ms);
+  w.field("adaptive_ms", s.optimized_ms);
+  w.field("random_true_err_pct", random_err);
+  w.field("adaptive_true_err_pct", adaptive_err);
+  w.field("deterministic", s.equivalent);
+  w.end_object();
+  return s;
+}
+
 // ---------------------------------------------------------- model errors ---
 
 std::vector<std::pair<std::string, double>> bench_model_errors(
@@ -717,6 +800,7 @@ int run(const BenchOptions& options, std::ostream& out, std::ostream& err) {
   sections.push_back(bench_f32_session(w, full, train, options.fast));
   sections.push_back(bench_estimate_error(w, train, options.fast));
   sections.push_back(bench_select_fit(w, train, options.fast));
+  sections.push_back(bench_dse_sampler(w, full, options.fast));
   w.end_object();  // sections
 
   const auto model_errors = bench_model_errors(w, options.fast);

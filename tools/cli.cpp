@@ -27,11 +27,13 @@
 #include "common/table.hpp"
 #include "common/trace.hpp"
 #include "data/split.hpp"
+#include "dse/campaign.hpp"
 #include "dse/chronological.hpp"
 #include "dse/sampled.hpp"
 #include "dse/sweep.hpp"
 #include "engine/design_space.hpp"
 #include "fleet/coordinator.hpp"
+#include "fleet/evaluator.hpp"
 #include "fleet/supervisor.hpp"
 #include "fleet/worker.hpp"
 #include "ml/fit_score.hpp"
@@ -78,7 +80,8 @@ Options parse_options(const std::vector<std::string>& args,
       // Boolean flags may appear bare ("--fast" == "--fast 1"), so
       // `bench --fast --trace t.json` reads naturally; every other flag
       // still requires an explicit value.
-      static const std::set<std::string> kBooleanFlags = {"fast", "f32"};
+      static const std::set<std::string> kBooleanFlags = {"fast", "f32",
+                                                          "truth"};
       if (kBooleanFlags.count(key)) {
         if (i + 1 < args.size() &&
             (args[i + 1] == "0" || args[i + 1] == "1")) {
@@ -160,15 +163,12 @@ dse::SweepOptions sweep_options_from(const Options& opt) {
   return sweep;
 }
 
-/// Prints the failures a degraded run tolerated (empty = silent).
+/// Prints the failures a degraded run tolerated (empty = silent). One
+/// formatter — dse::format_failure_summary — serves every CLI path, so the
+/// sweep/sampled/chrono/fleet/campaign banners can never drift apart.
 void print_failures(const std::vector<FailureRecord>& failures,
                     std::ostream& out) {
-  if (failures.empty()) return;
-  out << failures.size() << " failure(s) tolerated:\n";
-  for (const auto& f : failures) {
-    out << "  " << f.name << " [" << f.error_type << "] " << f.message
-        << "\n";
-  }
+  out << dse::format_failure_summary(failures);
 }
 
 int cmd_list(std::ostream& out) {
@@ -580,22 +580,189 @@ void report_fleet_sweep(const std::string& app,
   print_failures(result.failures, out);
 }
 
-/// `dsml dse --app A --workers H:P,...`: coordinator mode — shard the full
-/// design space across an already-running worker fleet, gather, merge.
-/// Exits non-zero (StateError) if coverage cannot be completed, never with
-/// a silently partial table.
+std::vector<fleet::Endpoint> parse_worker_endpoints(const std::string& spec) {
+  std::vector<fleet::Endpoint> endpoints;
+  for (const std::string& part : parse_list(spec)) {
+    endpoints.push_back(fleet::parse_endpoint(part));
+  }
+  return endpoints;
+}
+
+/// The campaign's simulation budget: `--budget N` directly, or
+/// `--sample-rate R` as a fraction of the 4608-point space (floored at 10
+/// rows, the same minimum data::sample_fraction applies). Default is the
+/// paper's headline 1%.
+std::size_t campaign_budget(const Options& opt) {
+  if (opt.get("budget") && opt.get("sample-rate")) {
+    throw InvalidArgument("--budget and --sample-rate are mutually exclusive");
+  }
+  if (opt.get("budget")) {
+    const std::size_t budget = parse_count_flag(opt, "budget", "0");
+    if (budget == 0) throw InvalidArgument("--budget must be >= 1");
+    if (budget > sim::kDesignSpaceSize) {
+      throw InvalidArgument("--budget: the design space has " +
+                            std::to_string(sim::kDesignSpaceSize) +
+                            " configurations, got " + std::to_string(budget));
+    }
+    return budget;
+  }
+  const std::string value = opt.get_or("sample-rate", "0.01");
+  double rate = 0.0;
+  try {
+    rate = strings::parse_double(value);
+  } catch (const IoError&) {
+    throw InvalidArgument("--sample-rate: expected a fraction in (0,1], got '" +
+                          value + "'");
+  }
+  if (!(rate > 0.0) || rate > 1.0) {
+    throw InvalidArgument("--sample-rate: expected a fraction in (0,1], got '" +
+                          value + "'");
+  }
+  return std::max<std::size_t>(
+      10, static_cast<std::size_t>(
+              static_cast<double>(sim::kDesignSpaceSize) * rate));
+}
+
+/// `dsml dse --sampler random|adaptive`: campaign mode — run the
+/// select/evaluate/retrain/score loop against a ground-truth Evaluator:
+///   --workers H:P,...   the fleet coordinator (eviction + retry),
+///   --truth 1           the full (cached) sweep, so true error is reported,
+///   (neither)           local in-process shard simulation.
+int cmd_dse_campaign(const Options& opt, const std::string& app,
+                     const std::string& sampler_name, std::ostream& out) {
+  const std::size_t budget = campaign_budget(opt);
+  const std::uint64_t seed = parse_count_flag(opt, "seed", "7");
+  const std::unique_ptr<dse::Sampler> sampler =
+      dse::make_sampler(sampler_name, seed, app);
+  // Adaptive needs rounds to react between batches; random keeps the paper's
+  // one-shot protocol unless asked otherwise.
+  const std::size_t rounds = parse_count_flag(
+      opt, "rounds", sampler->cumulative() ? "4" : "1");
+  if (rounds == 0) throw InvalidArgument("--rounds must be >= 1");
+  if (rounds > budget) {
+    throw InvalidArgument("--rounds: more rounds (" + std::to_string(rounds) +
+                          ") than budget (" + std::to_string(budget) + ")");
+  }
+  const std::string objective = opt.get_or("objective", "cycles");
+  if (objective != "cycles" && objective != "pareto") {
+    throw InvalidArgument("unknown objective '" + objective +
+                          "' (cycles|pareto)");
+  }
+
+  data::Dataset space;
+  std::unique_ptr<dse::Evaluator> evaluator;
+  fleet::FleetEvaluator* fleet_evaluator = nullptr;
+  if (const auto workers = opt.get("workers")) {
+    space = sim::make_config_dataset(sim::enumerate_design_space());
+    auto fe = std::make_unique<fleet::FleetEvaluator>(
+        app, parse_worker_endpoints(*workers), coordinator_options_from(opt));
+    fleet_evaluator = fe.get();
+    evaluator = std::move(fe);
+  } else if (opt.get_or("truth", "0") == "1") {
+    space = dse::sweep_dataset(
+        dse::run_design_space_sweep(app, sweep_options_from(opt)));
+    evaluator = std::make_unique<dse::DatasetEvaluator>(space);
+  } else {
+    space = sim::make_config_dataset(sim::enumerate_design_space());
+    evaluator = std::make_unique<dse::LocalSweepEvaluator>(
+        app, sweep_options_from(opt));
+  }
+  const bool has_truth = space.has_target();
+
+  dse::CampaignConfig config;
+  config.app = app;
+  config.space = &space;
+  config.sampler = sampler.get();
+  config.evaluator = evaluator.get();
+  const dse::CyclesScorer cycles_scorer;
+  std::optional<dse::ParetoScorer> pareto_scorer;
+  if (objective == "pareto") {
+    pareto_scorer.emplace();
+    config.scorer = &*pareto_scorer;
+  } else {
+    config.scorer = &cycles_scorer;
+  }
+  config.rounds = dse::budget_rounds(budget, rounds);
+  if (const auto models = opt.get("models")) {
+    config.model_names = parse_list(*models);
+  }
+  config.sample_seed = seed;
+
+  const dse::CampaignResult result = dse::Campaign(config).run();
+
+  out << "campaign " << app << ": sampler " << result.sampler
+      << ", evaluator " << result.evaluator << ", objective "
+      << result.objective << ", budget " << budget << " over " << rounds
+      << " round(s)\n";
+  TablePrinter table({"round", "train", "model", "est err %", "true err %"});
+  for (const auto& round : result.rounds) {
+    for (const auto& cell : round.cells) {
+      table.add_row({round.label, std::to_string(round.train_rows), cell.model,
+                     strings::format_double(cell.estimated_error_max, 2),
+                     has_truth ? strings::format_double(cell.true_error, 2)
+                               : "-"});
+    }
+  }
+  table.print(out);
+  for (const auto& round : result.rounds) {
+    if (!round.has_select) continue;
+    out << "select @" << round.label << ": " << round.select.chosen_model
+        << " (est " << strings::format_double(round.select.estimated_error, 2)
+        << "%";
+    if (has_truth) {
+      out << ", true " << strings::format_double(round.select.true_error, 2)
+          << "%";
+    }
+    out << ")\n";
+  }
+  out << "evaluated " << result.evaluated.size() << " of " << space.n_rows()
+      << " configurations\n";
+  if (!result.pareto.empty()) {
+    out << "pareto frontier: " << result.pareto.size()
+        << " configuration(s)\n";
+    TablePrinter frontier({"config", "pred cycles", "energy"});
+    const std::size_t shown = std::min<std::size_t>(10, result.pareto.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      const dse::ParetoPoint& p = result.pareto[i];
+      frontier.add_row({std::to_string(p.index),
+                        strings::format_double(p.cycles, 0),
+                        strings::format_double(p.energy, 2)});
+    }
+    frontier.print(out);
+    if (shown < result.pareto.size()) {
+      out << "(first " << shown << " of " << result.pareto.size()
+          << " by predicted cycles)\n";
+    }
+  }
+  if (fleet_evaluator && !fleet_evaluator->evicted().empty()) {
+    out << "evicted " << fleet_evaluator->evicted().size() << " worker(s): "
+        << strings::join(fleet_evaluator->evicted(), ", ") << "\n";
+  }
+  print_failures(result.failures, out);
+  return 0;
+}
+
+/// `dsml dse`: two modes sharing one command.
+///   --sampler random|adaptive   campaign mode (cmd_dse_campaign above);
+///   --workers H:P,... (alone)   legacy coordinator mode — shard the *full*
+///                               design space across an already-running
+///                               worker fleet, gather, merge. Exits non-zero
+///                               (StateError) if coverage cannot be
+///                               completed, never with a silently partial
+///                               table.
 int cmd_dse(const Options& opt, std::ostream& out) {
   const std::string app = opt.get_or("app", "mcf");
+  if (const auto sampler = opt.get("sampler")) {
+    return cmd_dse_campaign(opt, app, *sampler, out);
+  }
   const auto workers = opt.get("workers");
   if (!workers) {
-    throw InvalidArgument("dse requires --workers host:port[,host:port...]");
+    throw InvalidArgument(
+        "dse requires --sampler random|adaptive or --workers "
+        "host:port[,host:port...]");
   }
-  std::vector<fleet::Endpoint> endpoints;
-  for (const std::string& spec : parse_list(*workers)) {
-    endpoints.push_back(fleet::parse_endpoint(spec));
-  }
-  const fleet::FleetSweepResult result =
-      fleet::coordinator_sweep(app, endpoints, coordinator_options_from(opt));
+  const fleet::FleetSweepResult result = fleet::coordinator_sweep(
+      app, parse_worker_endpoints(*workers), coordinator_options_from(opt));
   report_fleet_sweep(app, result, opt, out);
   return 0;
 }
@@ -764,12 +931,21 @@ std::string usage() {
       "                                    fleet control (ping, sweep shards,\n"
       "                                    model snapshots) on one port\n"
       "                                    (see docs/FLEET.md)\n"
+      "  dse     --app A --sampler random|adaptive [--budget N | \n"
+      "          --sample-rate R] [--rounds K] [--objective cycles|pareto]\n"
+      "          [--models M1,M2] [--seed S] [--truth] [--workers H:P,...]\n"
+      "                                    campaign mode: select/evaluate/\n"
+      "                                    retrain/score rounds against a\n"
+      "                                    local, cached-truth (--truth), or\n"
+      "                                    fleet (--workers) evaluator\n"
+      "                                    (see docs/DSE.md)\n"
       "  dse     --app A --workers H:P[,H:P...] [--full N --interval N\n"
       "          --clusters K] [--csv F] [--timeout-ms N] [--retries N]\n"
       "          [--connect-timeout-ms N]\n"
-      "                                    shard the design-space sweep across\n"
-      "                                    a worker fleet; fault-tolerant merge\n"
-      "                                    (complete table or loud error)\n"
+      "                                    shard the full design-space sweep\n"
+      "                                    across a worker fleet; fault-\n"
+      "                                    tolerant merge (complete table or\n"
+      "                                    loud error)\n"
       "  fleet   --app A [--workers N] [--port-base P] [--models N=F,...]\n"
       "          [--max-respawns N] [--csv F]\n"
       "                                    supervise a local worker fleet\n"
